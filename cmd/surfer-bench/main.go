@@ -1,0 +1,161 @@
+// surfer-bench regenerates the paper's evaluation tables and figures on the
+// simulated cluster and prints them in the paper's layout.
+//
+// Usage:
+//
+//	surfer-bench -experiment all
+//	surfer-bench -experiment table1
+//	surfer-bench -experiment fig9 -vertices 131072
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-bench: ")
+	var (
+		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|all")
+		vertices   = flag.Int("vertices", 1<<16, "synthetic graph vertices")
+		machines   = flag.Int("machines", 32, "machines in the simulated cluster")
+		levels     = flag.Int("levels", 6, "log2 of partition count")
+		seed       = flag.Int64("seed", 42, "random seed")
+		iterations = flag.Int("iterations", 3, "iterations for the cascade study")
+		appsDir    = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
+	)
+	flag.Parse()
+
+	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed}
+	dir := *appsDir
+	if dir == "" {
+		dir = bench.FindAppsDir("internal/apps", "../internal/apps", "../../internal/apps")
+	}
+	want := strings.ToLower(*experiment)
+	run := func(name string, fn func() error) {
+		if want != "all" && want != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s took %.1fs]\n\n", name, time.Since(start).Seconds())
+	}
+
+	var cells23 []bench.AppLevelMetrics
+	tables23 := func() error {
+		if cells23 != nil {
+			return nil
+		}
+		var err error
+		cells23, err = bench.Tables23(s)
+		return err
+	}
+
+	run("table1", func() error {
+		rows, err := bench.Table1(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable1(os.Stdout, rows)
+		return nil
+	})
+	run("table2", func() error {
+		if err := tables23(); err != nil {
+			return err
+		}
+		bench.WriteTable2(os.Stdout, cells23)
+		return nil
+	})
+	run("table3", func() error {
+		if err := tables23(); err != nil {
+			return err
+		}
+		bench.WriteTable3(os.Stdout, cells23)
+		return nil
+	})
+	run("table4", func() error {
+		rows, err := bench.Table4(dir)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable4(os.Stdout, rows)
+		return nil
+	})
+	run("table5", func() error {
+		rows, err := bench.Table5(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteTable5(os.Stdout, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := bench.Fig6(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig6(os.Stdout, rows)
+		return nil
+	})
+	run("fig7", func() error {
+		rows, err := bench.Fig7(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig7(os.Stdout, rows)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := bench.Fig9(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig9(os.Stdout, rows)
+		return nil
+	})
+	run("fig10", func() error {
+		res, err := bench.Fig10(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig10(os.Stdout, res)
+		return nil
+	})
+	runScaling := func() error {
+		rows, err := bench.Fig11And12(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteFig11And12(os.Stdout, rows)
+		return nil
+	}
+	run("fig11", runScaling)
+	if want == "fig12" {
+		run("fig12", runScaling)
+	}
+	run("cascade", func() error {
+		res, err := bench.Cascade(s, *iterations)
+		if err != nil {
+			return err
+		}
+		bench.WriteCascade(os.Stdout, res)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := bench.Ablation(s)
+		if err != nil {
+			return err
+		}
+		bench.WriteAblation(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,73 @@
+// surfer-gen generates synthetic graphs in the Surfer binary format.
+//
+// Usage:
+//
+//	surfer-gen -kind social -vertices 65536 -seed 42 -out graph.srfg
+//	surfer-gen -kind rmat -scale 16 -edgefactor 12 -out rmat.srfg
+//	surfer-gen -kind smallworld -vertices 65536 -rewire 0.05 -out sw.srfg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	surfer "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-gen: ")
+	var (
+		kind       = flag.String("kind", "social", "generator: social, smallworld, rmat, uniform")
+		vertices   = flag.Int("vertices", 1<<16, "number of vertices (social, smallworld, uniform)")
+		scale      = flag.Int("scale", 16, "log2 vertices (rmat)")
+		edgeFactor = flag.Int("edgefactor", 12, "average out-degree (rmat, uniform)")
+		rewire     = flag.Float64("rewire", 0.05, "cross-component rewire ratio (smallworld)")
+		seed       = flag.Int64("seed", 42, "random seed")
+		out        = flag.String("out", "graph.srfg", "output file")
+	)
+	flag.Parse()
+
+	var g *surfer.Graph
+	switch *kind {
+	case "social":
+		g = surfer.Social(surfer.DefaultSocial(*vertices, *seed))
+	case "smallworld":
+		cfg := surfer.DefaultSmallWorld(*vertices, *seed)
+		cfg.RewireRatio = *rewire
+		g = surfer.SmallWorld(cfg)
+	case "rmat":
+		g = surfer.RMAT(surfer.DefaultRMAT(*scale, *edgeFactor, *seed))
+	case "uniform":
+		g = uniform(*vertices, *edgeFactor, *seed)
+	default:
+		log.Fatalf("unknown kind %q (want social, smallworld, rmat or uniform)", *kind)
+	}
+	if err := g.Save(*out); err != nil {
+		log.Fatalf("saving %s: %v", *out, err)
+	}
+	fi, err := os.Stat(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: %d vertices, %d edges, %d bytes\n", *out, g.NumVertices(), g.NumEdges(), fi.Size())
+}
+
+func uniform(n, edgeFactor int, seed int64) *surfer.Graph {
+	b := surfer.NewBuilder(n)
+	// Simple LCG so the tool stays self-contained and deterministic.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() int {
+		x = x*6364136223846793005 + 1442695040888963407
+		return int((x >> 33) % uint64(n))
+	}
+	for i := 0; i < n*edgeFactor; i++ {
+		u, v := next(), next()
+		if u != v {
+			b.AddEdge(surfer.VertexID(u), surfer.VertexID(v))
+		}
+	}
+	return b.Build()
+}

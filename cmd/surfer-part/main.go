@@ -1,0 +1,97 @@
+// surfer-part partitions a graph for a simulated cluster topology and
+// prints the partition-sketch quality and the estimated distributed
+// partitioning time for both the bandwidth-aware algorithm and the
+// bandwidth-oblivious baseline.
+//
+// Usage:
+//
+//	surfer-part -graph graph.srfg -machines 32 -topology t2 -pods 2 -levels 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	surfer "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-part: ")
+	var (
+		graphPath = flag.String("graph", "graph.srfg", "input graph file")
+		machines  = flag.Int("machines", 32, "number of machines")
+		topoKind  = flag.String("topology", "t1", "topology: t1, t2, t3")
+		pods      = flag.Int("pods", 2, "pods (t2)")
+		treeLvls  = flag.Int("tree-levels", 1, "switch levels above pods (t2)")
+		levels    = flag.Int("levels", 6, "log2 of partition count")
+		seed      = flag.Int64("seed", 42, "random seed")
+		outDir    = flag.String("outdir", "", "write the bandwidth-aware partitions to this directory")
+		dotPath   = flag.String("dot", "", "write the partition sketch as Graphviz DOT to this file")
+	)
+	flag.Parse()
+
+	g, err := surfer.LoadGraph(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	topo := makeTopology(*topoKind, *machines, *pods, *treeLvls, *seed)
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("cluster: %s\n", topo)
+
+	cm := surfer.DefaultPartitionCostModel()
+	for _, strat := range []surfer.PartitionStrategy{surfer.StrategyBandwidthAware, surfer.StrategyParMetis} {
+		sys, err := surfer.Build(surfer.Config{
+			Graph: g, Topology: topo, Levels: *levels, Strategy: strat, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("%v: %v", strat, err)
+		}
+		if *outDir != "" && strat == surfer.StrategyBandwidthAware {
+			if err := sys.PG.SaveDir(*outDir); err != nil {
+				log.Fatalf("writing partitions: %v", err)
+			}
+			fmt.Printf("wrote %d partition files to %s\n", sys.PG.Part.P, *outDir)
+		}
+		if *dotPath != "" && strat == surfer.StrategyBandwidthAware {
+			f, err := os.Create(*dotPath)
+			if err != nil {
+				log.Fatalf("creating %s: %v", *dotPath, err)
+			}
+			if err := sys.Sketch.WriteDOT(f, g, sys.Placement); err != nil {
+				log.Fatalf("writing DOT: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote partition sketch to %s\n", *dotPath)
+		}
+		fmt.Printf("\n%v:\n", strat)
+		fmt.Printf("  partitions:          %d\n", sys.PG.Part.P)
+		fmt.Printf("  inner edge ratio:    %.1f%%\n", 100*sys.InnerEdgeRatio())
+		fmt.Printf("  cross edges:         %d\n", sys.PG.TotalCrossEdges())
+		fmt.Printf("  est. elapsed time:   %.3f s\n", sys.PartitioningTime(cm))
+		var inner, total int64
+		for _, pi := range sys.PG.Parts {
+			inner += pi.InnerVertices
+			total += int64(pi.NumVertices())
+		}
+		fmt.Printf("  inner vertex ratio:  %.1f%%\n", 100*float64(inner)/float64(total))
+	}
+}
+
+func makeTopology(kind string, machines, pods, treeLevels int, seed int64) *surfer.Topology {
+	switch kind {
+	case "t1":
+		return surfer.NewT1(machines)
+	case "t2":
+		return surfer.NewT2(surfer.T2Config{Machines: machines, Pods: pods, Levels: treeLevels})
+	case "t3":
+		return surfer.NewT3(machines, seed)
+	default:
+		log.Fatalf("unknown topology %q (want t1, t2 or t3)", kind)
+		return nil
+	}
+}

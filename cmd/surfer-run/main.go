@@ -1,0 +1,133 @@
+// surfer-run executes one of the paper's six benchmark applications on a
+// graph over the simulated cluster, with either primitive, and prints the
+// response time, total machine time, and I/O metrics.
+//
+// Usage:
+//
+//	surfer-run -graph graph.srfg -app nr -primitive propagation -opt o4
+//	surfer-run -graph graph.srfg -app tfl -primitive mapreduce
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-run: ")
+	var (
+		graphPath = flag.String("graph", "graph.srfg", "input graph file")
+		appName   = flag.String("app", "nr", "application: vdd, rs, nr, rlg, tc, tfl, cc, sssp")
+		primitive = flag.String("primitive", "propagation", "propagation or mapreduce")
+		optLevel  = flag.String("opt", "o4", "optimization level o1..o4 (propagation)")
+		machines  = flag.Int("machines", 32, "number of machines")
+		topoKind  = flag.String("topology", "t1", "topology: t1, t2, t3")
+		pods      = flag.Int("pods", 2, "pods (t2)")
+		levels    = flag.Int("levels", 6, "log2 of partition count")
+		seed      = flag.Int64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	g, err := graph.Load(*graphPath)
+	if err != nil {
+		log.Fatalf("loading graph: %v", err)
+	}
+	var topo *cluster.Topology
+	switch *topoKind {
+	case "t1":
+		topo = cluster.NewT1(*machines)
+	case "t2":
+		topo = cluster.NewT2(cluster.T2Config{Machines: *machines, Pods: *pods, Levels: 1})
+	case "t3":
+		topo = cluster.NewT3(*machines, *seed)
+	default:
+		log.Fatalf("unknown topology %q", *topoKind)
+	}
+
+	app := findApp(*appName)
+	if app == nil {
+		log.Fatalf("unknown app %q (want vdd, rs, nr, rlg, tc or tfl)", *appName)
+	}
+
+	pt, sk := partition.RecursiveBisect(g, *levels, partition.Options{Seed: *seed})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed}
+	d := &bench.Deployment{
+		Scale: s, Graph: g, PG: pg, Sk: sk, Topo: topo,
+		PlacePM: partition.RandomPlacement(pt.P, topo, *seed),
+		PlaceBA: partition.SketchPlacement(sk, topo),
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges; cluster: %s; app: %s (%d iteration(s))\n",
+		g.NumVertices(), g.NumEdges(), topo, app.Name(), app.Iterations())
+	switch *primitive {
+	case "propagation":
+		lvl := parseOpt(*optLevel)
+		m, err := d.RunApp(app, lvl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("primitive: propagation (%v)\n", lvl)
+		printMetrics(m.ResponseSeconds, m.MachineSeconds, m.NetworkBytes, m.DiskBytes)
+	case "mapreduce":
+		m, err := d.RunAppMR(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("primitive: mapreduce")
+		printMetrics(m.ResponseSeconds, m.MachineSeconds, m.NetworkBytes, m.DiskBytes)
+	default:
+		log.Fatalf("unknown primitive %q", *primitive)
+	}
+}
+
+func findApp(name string) apps.App {
+	for _, a := range apps.All() {
+		if strings.EqualFold(a.Name(), name) {
+			return a
+		}
+	}
+	switch strings.ToLower(name) {
+	case "cc":
+		return apps.NewCC(50)
+	case "sssp":
+		return apps.NewSSSP(0, 100)
+	}
+	return nil
+}
+
+func parseOpt(s string) bench.OptLevel {
+	switch strings.ToLower(s) {
+	case "o1":
+		return bench.O1
+	case "o2":
+		return bench.O2
+	case "o3":
+		return bench.O3
+	case "o4":
+		return bench.O4
+	default:
+		log.Fatalf("unknown optimization level %q (want o1..o4)", s)
+		return bench.O1
+	}
+}
+
+func printMetrics(resp, machine float64, net, disk int64) {
+	fmt.Printf("response time:      %.4f s\n", resp)
+	fmt.Printf("total machine time: %.4f s\n", machine)
+	fmt.Printf("network I/O:        %.2f MB\n", float64(net)/1e6)
+	fmt.Printf("disk I/O:           %.2f MB\n", float64(disk)/1e6)
+}

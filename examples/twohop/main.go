@@ -1,0 +1,136 @@
+// Two-hop friend lists (the paper's TFL workload), with the same job
+// implemented under both primitives — propagation and MapReduce — to show
+// the efficiency and programmability gap of §6.4 from the public API.
+// TFL ships whole adjacency lists along edges, so it produces the heaviest
+// intermediate data of the paper's six workloads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"slices"
+
+	surfer "repro"
+)
+
+// selected marks the 10% vertex sample TFL pushes lists from (Appendix D).
+func selected(v surfer.VertexID) bool {
+	return (uint64(v)*2654435761)%10 == 0
+}
+
+// --- propagation implementation: 4 small functions ---
+
+type twoHop struct {
+	g *surfer.Graph
+}
+
+func (p *twoHop) Init(surfer.VertexID) []surfer.VertexID { return nil }
+
+func (p *twoHop) Transfer(src surfer.VertexID, _ []surfer.VertexID, dst surfer.VertexID, emit surfer.Emit[[]surfer.VertexID]) {
+	if selected(src) {
+		emit(dst, p.g.Neighbors(src))
+	}
+}
+
+func (p *twoHop) Combine(_ surfer.VertexID, _ []surfer.VertexID, values [][]surfer.VertexID) []surfer.VertexID {
+	return distinct(values)
+}
+
+func (p *twoHop) Bytes(l []surfer.VertexID) int64 {
+	if len(l) == 0 {
+		return 0
+	}
+	return 4 + 4*int64(len(l))
+}
+
+func (p *twoHop) Associative() bool { return true }
+
+func (p *twoHop) Merge(_ surfer.VertexID, values [][]surfer.VertexID) []surfer.VertexID {
+	return distinct(values)
+}
+
+func distinct(lists [][]surfer.VertexID) []surfer.VertexID {
+	var out []surfer.VertexID
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// --- MapReduce implementation of the same job ---
+
+type twoHopMR struct{}
+
+func (twoHopMR) Map(pi *surfer.PartInfo, g *surfer.Graph, emit func(surfer.VertexID, []surfer.VertexID)) {
+	for _, u := range pi.Vertices {
+		if !selected(u) {
+			continue
+		}
+		list := g.Neighbors(u)
+		for _, v := range list {
+			emit(v, list)
+		}
+	}
+}
+
+func (twoHopMR) Reduce(_ surfer.VertexID, values [][]surfer.VertexID) []surfer.VertexID {
+	return distinct(values)
+}
+
+func (twoHopMR) PairBytes(_ surfer.VertexID, l []surfer.VertexID) int64 { return 8 + 4*int64(len(l)) }
+func (twoHopMR) ResultBytes(l []surfer.VertexID) int64                  { return 8 + 4*int64(len(l)) }
+
+func main() {
+	g := surfer.Social(surfer.DefaultSocial(30_000, 5))
+	topo := surfer.NewT1(16)
+	sys, err := surfer.Build(surfer.Config{Graph: g, Topology: topo, Levels: 5, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d edges on %s\n", g.NumVertices(), g.NumEdges(), topo)
+
+	// Propagation with all locality optimizations.
+	stP, mp, err := surfer.RunPropagation[[]surfer.VertexID](sys, sys.NewRunner(), &twoHop{g: g}, 1,
+		surfer.PropagationOptions{LocalPropagation: true, LocalCombination: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// MapReduce with a hash shuffle.
+	resMR, mm, err := surfer.RunMapReduce[surfer.VertexID, []surfer.VertexID, []surfer.VertexID](
+		sys, sys.NewRunner(), twoHopMR{}, surfer.MROptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Both produce identical two-hop lists.
+	mismatches := 0
+	for v := range stP.Values {
+		mrList := resMR[surfer.VertexID(v)]
+		if !slices.Equal(stP.Values[v], mrList) {
+			mismatches++
+		}
+	}
+	fmt.Printf("result mismatch count: %d (must be 0)\n", mismatches)
+
+	var withLists, totalLen int
+	for _, l := range stP.Values {
+		if len(l) > 0 {
+			withLists++
+			totalLen += len(l)
+		}
+	}
+	fmt.Printf("vertices with two-hop lists: %d (avg length %.1f)\n",
+		withLists, float64(totalLen)/float64(max(withLists, 1)))
+
+	fmt.Printf("\npropagation: response %.4f s, network %.2f MB, disk %.2f MB\n",
+		mp.ResponseSeconds, float64(mp.NetworkBytes)/1e6, float64(mp.DiskBytes)/1e6)
+	fmt.Printf("mapreduce:   response %.4f s, network %.2f MB, disk %.2f MB\n",
+		mm.ResponseSeconds, float64(mm.NetworkBytes)/1e6, float64(mm.DiskBytes)/1e6)
+	fmt.Printf("propagation speedup: %.1fx, network reduction: %.1f%%\n",
+		mm.ResponseSeconds/mp.ResponseSeconds,
+		100*float64(mm.NetworkBytes-mp.NetworkBytes)/float64(mm.NetworkBytes))
+}

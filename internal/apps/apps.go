@@ -1,0 +1,54 @@
+// Package apps implements the paper's six benchmark applications (Appendix
+// D) — network ranking (NR), recommender system (RS), triangle counting
+// (TC), vertex degree distribution (VDD), reverse link graph (RLG) and
+// two-hop friend lists (TFL) — each twice: once with the propagation
+// primitive and once with the home-grown MapReduce primitive, plus a
+// sequential reference used by the tests to pin down semantics.
+package apps
+
+import (
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// App is a benchmark application runnable under both primitives.
+type App interface {
+	// Name is the paper's abbreviation (NR, RS, ...).
+	Name() string
+	// Iterations is the number of propagation iterations the workload
+	// runs (1 for single-pass applications).
+	Iterations() int
+	// RunPropagation executes the propagation implementation and returns
+	// an opaque result for cross-checking.
+	RunPropagation(r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, opt propagation.Options) (any, engine.Metrics, error)
+	// RunMapReduce executes the MapReduce implementation.
+	RunMapReduce(r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement) (any, engine.Metrics, error)
+}
+
+// All returns the six applications in the order the paper's tables use
+// (VDD, RS, NR, RLG, TC, TFL).
+func All() []App {
+	return []App{
+		NewVDD(),
+		NewRS(DefaultRSConfig()),
+		NewNR(3),
+		NewRLG(),
+		NewTC(DefaultSelectRatio),
+		NewTFL(DefaultSelectRatio),
+	}
+}
+
+// DefaultSelectRatio is the vertex sampling ratio TC and TFL use ("the
+// ratio of selected vertices is 10%", Appendix D).
+const DefaultSelectRatio = 10
+
+// Selected reports whether vertex v is in the deterministic sample used by
+// TC and TFL: one in `ratio` vertices, spread by a multiplicative hash.
+func Selected(v uint32, ratio int) bool {
+	if ratio <= 1 {
+		return true
+	}
+	return (uint64(v)*2654435761)%uint64(ratio) == 0
+}

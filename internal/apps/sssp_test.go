@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/propagation"
+)
+
+func TestSSSPPropagationMatchesReference(t *testing.T) {
+	f := newFixture(t, 30)
+	src := graph.VertexID(17)
+	want := ReferenceSSSP(f.g, src)
+	app := NewSSSP(src, 100)
+	for name, opt := range optLevels {
+		res, _, err := app.RunPropagation(f.runner(), f.pg, f.pl, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got := res.([]int32)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: dist[%d] = %d, want %d", name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPMapReduceMatchesReference(t *testing.T) {
+	f := newFixture(t, 31)
+	src := graph.VertexID(5)
+	want := ReferenceSSSP(f.g, src)
+	res, _, err := NewSSSP(src, 100).RunMapReduce(f.runner(), f.pg, f.pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.([]int32)
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("MR: dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSSSPUnreachable(t *testing.T) {
+	// Two disconnected chains: distances from one side must not leak to
+	// the other.
+	g := graph.FromEdges(6, [][2]graph.VertexID{{0, 1}, {1, 2}, {3, 4}, {4, 5}})
+	f := fixtureFor(t, g, 1, 32)
+	res, _, err := NewSSSP(0, 10).RunPropagation(f.runner(), f.pg, f.pl, propagation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.([]int32)
+	want := []int32{0, 1, 2, Unreachable, Unreachable, Unreachable}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestSSSPConvergesEarly(t *testing.T) {
+	g := graph.Ring(20)
+	f := fixtureFor(t, g, 2, 33)
+	res, m, err := NewSSSP(0, 1000).RunPropagation(f.runner(), f.pg, f.pl, propagation.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.([]int32)[19] != 19 {
+		t.Fatalf("ring dist[19] = %d, want 19", res.([]int32)[19])
+	}
+	// Convergence at ~20 iterations (+1 fixpoint check), far below 1000.
+	if m.TasksRun > 25*2*f.pg.Part.P {
+		t.Fatalf("did not converge early: %d tasks", m.TasksRun)
+	}
+}

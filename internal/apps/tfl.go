@@ -1,0 +1,146 @@
+package apps
+
+import (
+	"slices"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// TFL aggregates two-hop friend lists (Appendix D): every selected vertex
+// pushes its neighbor list to each of its neighbors; each destination
+// stores the distinct vertices of the received lists. TFL moves whole
+// adjacency lists along edges, so it generates the paper's largest
+// intermediate data volume — the workload where locality optimizations help
+// the most (Table 3).
+type TFL struct {
+	ratio int
+}
+
+// NewTFL creates the two-hop-friends application with a 1-in-ratio sample.
+func NewTFL(ratio int) *TFL { return &TFL{ratio: ratio} }
+
+func (a *TFL) Name() string    { return "TFL" }
+func (a *TFL) Iterations() int { return 1 }
+
+type tflProgram struct {
+	g     *graph.Graph
+	ratio int
+}
+
+func (p *tflProgram) Init(graph.VertexID) []graph.VertexID { return nil }
+
+func (p *tflProgram) Transfer(src graph.VertexID, _ []graph.VertexID, dst graph.VertexID, emit propagation.Emit[[]graph.VertexID]) {
+	if !Selected(uint32(src), p.ratio) {
+		return
+	}
+	emit(dst, p.g.Neighbors(src))
+}
+
+func (p *tflProgram) Combine(_ graph.VertexID, _ []graph.VertexID, values [][]graph.VertexID) []graph.VertexID {
+	return distinctUnion(values)
+}
+
+func (p *tflProgram) Bytes(l []graph.VertexID) int64 {
+	if len(l) == 0 {
+		return 0 // vertices with no two-hop list store nothing
+	}
+	return 4 + 4*int64(len(l))
+}
+
+func (p *tflProgram) Associative() bool { return true }
+
+// Merge pre-unions lists headed to the same destination: distinct-union is
+// associative, so local combination preserves the final result.
+func (p *tflProgram) Merge(_ graph.VertexID, values [][]graph.VertexID) []graph.VertexID {
+	return distinctUnion(values)
+}
+
+// distinctUnion returns the sorted set union of the given lists.
+func distinctUnion(lists [][]graph.VertexID) []graph.VertexID {
+	var out []graph.VertexID
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// RunPropagation returns each vertex's two-hop list (indexed by vertex).
+func (a *TFL) RunPropagation(r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, opt propagation.Options) (any, engine.Metrics, error) {
+	prog := &tflProgram{g: pg.G, ratio: a.ratio}
+	st := propagation.NewState[[]graph.VertexID](pg, prog)
+	st, m, err := propagation.Iterate(r, pg, pl, prog, st, opt)
+	if err != nil {
+		return nil, m, err
+	}
+	return st.Values, m, nil
+}
+
+// tflMR mirrors the logic under MapReduce.
+type tflMR struct {
+	ratio int
+}
+
+func (p *tflMR) Map(pi *storage.PartInfo, g *graph.Graph, emit func(graph.VertexID, []graph.VertexID)) {
+	for _, u := range pi.Vertices {
+		if !Selected(uint32(u), p.ratio) {
+			continue
+		}
+		list := g.Neighbors(u)
+		for _, v := range list {
+			emit(v, list)
+		}
+	}
+}
+
+func (p *tflMR) Reduce(_ graph.VertexID, values [][]graph.VertexID) []graph.VertexID {
+	return distinctUnion(values)
+}
+
+func (p *tflMR) PairBytes(_ graph.VertexID, l []graph.VertexID) int64 { return 8 + 4*int64(len(l)) }
+func (p *tflMR) ResultBytes(l []graph.VertexID) int64                 { return 8 + 4*int64(len(l)) }
+
+// RunMapReduce returns each vertex's two-hop list (indexed by vertex).
+func (a *TFL) RunMapReduce(r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement) (any, engine.Metrics, error) {
+	prog := &tflMR{ratio: a.ratio}
+	res, m, err := mapreduce.Run[graph.VertexID, []graph.VertexID, []graph.VertexID](r, pg, pl, prog, mapreduce.Options{})
+	if err != nil {
+		return nil, m, err
+	}
+	out := make([][]graph.VertexID, pg.G.NumVertices())
+	for v, l := range res {
+		out[v] = l
+	}
+	return out, m, nil
+}
+
+// ReferenceTFL computes the pushed two-hop lists sequentially: vertex v's
+// list is the distinct union of the neighbor lists of its selected
+// in-neighbors.
+func ReferenceTFL(g *graph.Graph, ratio int) [][]graph.VertexID {
+	out := make([][]graph.VertexID, g.NumVertices())
+	var acc [][][]graph.VertexID = make([][][]graph.VertexID, g.NumVertices())
+	for u := 0; u < g.NumVertices(); u++ {
+		if !Selected(uint32(u), ratio) {
+			continue
+		}
+		list := g.Neighbors(graph.VertexID(u))
+		for _, v := range list {
+			acc[v] = append(acc[v], list)
+		}
+	}
+	for v := range out {
+		if len(acc[v]) > 0 {
+			out[v] = distinctUnion(acc[v])
+		}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+)
+
+// AblationRow isolates the contribution of one design choice for one
+// application on one topology.
+type AblationRow struct {
+	Topology string
+	App      string
+	Variant  string
+	Metrics  engine.Metrics
+}
+
+// Ablation decomposes the end-to-end gains of DESIGN.md's called-out
+// choices:
+//
+//   - the two local optimizations, separately and together (placement held
+//     at balanced-random so only the optimizations vary);
+//   - the three placements — unbalanced-random (the literal "random
+//     available machine"), balanced-random (load-balance only) and the
+//     sketch mapping (load balance + bandwidth awareness) — with both
+//     local optimizations on.
+//
+// Running it on T1 and T2(2,1) separates intra-machine locality from pod
+// locality.
+func Ablation(s Scale) ([]AblationRow, error) {
+	g := s.MakeGraph()
+	topos := []*cluster.Topology{
+		cluster.NewT1(s.Machines),
+		cluster.NewT2(cluster.T2Config{Machines: s.Machines, Pods: 2, Levels: 1}),
+	}
+	workloads := []apps.App{apps.NewNR(3), apps.NewTFL(apps.DefaultSelectRatio)}
+	var rows []AblationRow
+	for _, topo := range topos {
+		d, err := NewDeploymentFor(s, topo, g)
+		if err != nil {
+			return nil, err
+		}
+		unbalanced := partition.UnbalancedRandomPlacement(d.PG.Part.P, topo, s.Seed)
+		for _, app := range workloads {
+			run := func(variant string, pl *partition.Placement, opt propagation.Options) error {
+				_, m, err := app.RunPropagation(d.Runner(), d.PG, pl, opt)
+				if err != nil {
+					return fmt.Errorf("%s/%s/%s: %w", topo.Name(), app.Name(), variant, err)
+				}
+				rows = append(rows, AblationRow{Topology: topo.Name(), App: app.Name(), Variant: variant, Metrics: m})
+				return nil
+			}
+			// Optimization split (balanced-random placement).
+			for _, v := range []struct {
+				name string
+				opt  propagation.Options
+			}{
+				{"opts:none", propagation.Options{}},
+				{"opts:local-prop", propagation.Options{LocalPropagation: true}},
+				{"opts:local-comb", propagation.Options{LocalCombination: true}},
+				{"opts:both", propagation.Options{LocalPropagation: true, LocalCombination: true}},
+			} {
+				if err := run(v.name, d.PlacePM, v.opt); err != nil {
+					return nil, err
+				}
+			}
+			// Placement split (both optimizations on).
+			both := propagation.Options{LocalPropagation: true, LocalCombination: true}
+			if err := run("place:unbalanced", unbalanced, both); err != nil {
+				return nil, err
+			}
+			if err := run("place:balanced", d.PlacePM, both); err != nil {
+				return nil, err
+			}
+			if err := run("place:sketch", d.PlaceBA, both); err != nil {
+				return nil, err
+			}
+			// Tree aggregation (extension), on the spread placement
+			// where cross-pod traffic is heaviest. NR only: TFL's
+			// distinct-union merge barely shrinks bytes.
+			if app.Name() == "NR" && topo.NumPods() > 1 {
+				nr := apps.NewNR(3)
+				prog := nrTreeProgram(d.Graph)
+				st := propagation.NewState[float64](d.PG, prog)
+				st, m, err := propagation.RunIterationsTree(d.Runner(), d.PG, d.PlacePM, prog, st, both, nr.Iterations())
+				if err != nil {
+					return nil, err
+				}
+				_ = st
+				rows = append(rows, AblationRow{Topology: topo.Name(), App: app.Name(), Variant: "tree-aggregation", Metrics: m})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// nrTreeProgram builds a PageRank program for the tree-aggregation row.
+func nrTreeProgram(g *graph.Graph) propagation.Program[float64] {
+	return nrProgramFor(g)
+}
+
+// WriteAblation renders the ablation rows.
+func WriteAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation: contribution of each design choice (propagation)")
+	fmt.Fprintf(w, "%-10s %-5s %-18s %12s %12s %12s\n",
+		"Topology", "App", "Variant", "Resp (s)", "Net (MB)", "Disk (MB)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-5s %-18s %12.4f %12.2f %12.2f\n",
+			r.Topology, r.App, r.Variant,
+			r.Metrics.ResponseSeconds,
+			float64(r.Metrics.NetworkBytes)/1e6,
+			float64(r.Metrics.DiskBytes)/1e6)
+	}
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationShapes(t *testing.T) {
+	rows, err := Ablation(TestScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 topologies x 2 apps x 7 variants, plus the NR tree-aggregation
+	// row on the multi-pod topology.
+	if len(rows) != 29 {
+		t.Fatalf("rows = %d, want 29", len(rows))
+	}
+	for _, r := range rows {
+		if r.Variant == "tree-aggregation" && (r.Topology != "T2(2,1)" || r.App != "NR") {
+			t.Fatalf("unexpected tree-aggregation row: %+v", r)
+		}
+	}
+	get := func(topo, app, variant string) AblationRow {
+		for _, r := range rows {
+			if r.Topology == topo && r.App == app && r.Variant == variant {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s/%s", topo, app, variant)
+		return AblationRow{}
+	}
+	for _, topo := range []string{"T1", "T2(2,1)"} {
+		for _, app := range []string{"NR", "TFL"} {
+			none := get(topo, app, "opts:none").Metrics
+			lp := get(topo, app, "opts:local-prop").Metrics
+			lc := get(topo, app, "opts:local-comb").Metrics
+			both := get(topo, app, "opts:both").Metrics
+			// Local propagation reduces disk and leaves network alone.
+			if lp.DiskBytes >= none.DiskBytes {
+				t.Errorf("%s/%s: local-prop disk %d >= none %d", topo, app, lp.DiskBytes, none.DiskBytes)
+			}
+			if lp.NetworkBytes != none.NetworkBytes {
+				t.Errorf("%s/%s: local-prop changed network", topo, app)
+			}
+			// Local combination reduces network.
+			if lc.NetworkBytes >= none.NetworkBytes {
+				t.Errorf("%s/%s: local-comb net %d >= none %d", topo, app, lc.NetworkBytes, none.NetworkBytes)
+			}
+			// Both together dominate each alone on disk+network combined.
+			if both.DiskBytes > lp.DiskBytes || both.NetworkBytes > lc.NetworkBytes {
+				t.Errorf("%s/%s: both not cumulative", topo, app)
+			}
+			// Placement split. For NR (traffic spread evenly), load
+			// balance wins over collision-prone random placement; for
+			// hub-heavy TFL, collisions can co-locate heavy partition
+			// pairs and invert the ordering, so only NR is asserted.
+			unb := get(topo, app, "place:unbalanced").Metrics
+			bal := get(topo, app, "place:balanced").Metrics
+			if app == "NR" && bal.ResponseSeconds >= unb.ResponseSeconds {
+				t.Errorf("%s/%s: balanced %.4f >= unbalanced %.4f", topo, app, bal.ResponseSeconds, unb.ResponseSeconds)
+			}
+			if topo == "T2(2,1)" {
+				// Pod locality: the sketch mapping must beat the balanced
+				// random spread once the network is uneven.
+				sk := get(topo, app, "place:sketch").Metrics
+				if sk.ResponseSeconds >= bal.ResponseSeconds {
+					t.Errorf("%s/%s: sketch %.4f >= balanced %.4f", topo, app, sk.ResponseSeconds, bal.ResponseSeconds)
+				}
+			}
+		}
+	}
+	var sb strings.Builder
+	WriteAblation(&sb, rows)
+	if !strings.Contains(sb.String(), "place:sketch") {
+		t.Error("renderer missing variants")
+	}
+}

@@ -1,0 +1,157 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§6, Appendix F) on the simulated cluster: Table 1
+// (partitioning time by topology), Tables 2–3 (optimization levels O1–O4),
+// Table 4 (user code size), Table 5 (partition quality), Figure 6
+// (bandwidth-aware impact by topology), Figure 7 (MapReduce vs
+// propagation), Figure 9 (cross-pod delay sweep), Figure 10 (fault
+// tolerance), Figures 11–12 (scalability), and the §6.3 cascaded
+// propagation study.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// Scale sizes an experiment run. The defaults mirror the paper's setup
+// shrunk to laptop scale: 32 machines, 64 partitions, a stitched
+// small-world graph standing in for the MSN snapshot.
+type Scale struct {
+	// Vertices in the synthetic data graph.
+	Vertices int
+	// Levels is log2 of the partition count (paper default: 64
+	// partitions).
+	Levels int
+	// Machines in the simulated cluster (paper: 32).
+	Machines int
+	// Seed drives generation and partitioning.
+	Seed int64
+}
+
+// DefaultScale is the full benchmark scale.
+func DefaultScale() Scale {
+	return Scale{Vertices: 1 << 16, Levels: 6, Machines: 32, Seed: 42}
+}
+
+// TestScale is a shrunken configuration keeping test runtimes low.
+func TestScale() Scale {
+	return Scale{Vertices: 4096, Levels: 4, Machines: 8, Seed: 42}
+}
+
+// MakeGraph generates the data graph for a scale: the hybrid social graph
+// (small-world communities + power-law hubs) standing in for the MSN
+// snapshot.
+func (s Scale) MakeGraph() *graph.Graph {
+	return graph.Social(graph.DefaultSocial(s.Vertices, s.Seed))
+}
+
+// Topologies returns the named network settings of §6.1 at this scale.
+func (s Scale) Topologies() []*cluster.Topology {
+	return []*cluster.Topology{
+		cluster.NewT1(s.Machines),
+		cluster.NewT2(cluster.T2Config{Machines: s.Machines, Pods: 2, Levels: 1}),
+		cluster.NewT2(cluster.T2Config{Machines: s.Machines, Pods: 4, Levels: 1}),
+		cluster.NewT2(cluster.T2Config{Machines: s.Machines, Pods: 4, Levels: 2}),
+		cluster.NewT3(s.Machines, s.Seed),
+	}
+}
+
+// OptLevel is one of the paper's four optimization levels (§6.3).
+type OptLevel int
+
+const (
+	O1 OptLevel = iota + 1 // ParMetis layout, no local optimizations
+	O2                     // sketch layout, no local optimizations
+	O3                     // ParMetis layout, local optimizations
+	O4                     // sketch layout, local optimizations
+)
+
+func (o OptLevel) String() string { return fmt.Sprintf("O%d", int(o)) }
+
+// BandwidthAwareLayout reports whether the level stores partitions by the
+// machine-graph sketch.
+func (o OptLevel) BandwidthAwareLayout() bool { return o == O2 || o == O4 }
+
+// LocalOpts reports whether local propagation and combination are enabled.
+func (o OptLevel) LocalOpts() bool { return o == O3 || o == O4 }
+
+// Deployment is a partitioned graph with both placements precomputed, so
+// the four optimization levels can run against identical partitions.
+type Deployment struct {
+	Scale Scale
+	Graph *graph.Graph
+	PG    *storage.PartitionedGraph
+	Sk    *partition.Sketch
+	Topo  *cluster.Topology
+	// PlacePM is the bandwidth-oblivious (random) placement; PlaceBA the
+	// sketch-guided one.
+	PlacePM *partition.Placement
+	PlaceBA *partition.Placement
+}
+
+// NewDeployment partitions the scale's graph once and derives both
+// placements for the given topology.
+func NewDeployment(s Scale, topo *cluster.Topology) (*Deployment, error) {
+	g := s.MakeGraph()
+	return NewDeploymentFor(s, topo, g)
+}
+
+// NewDeploymentFor is NewDeployment with a caller-provided graph (so sweeps
+// can reuse one partitioning across topologies).
+func NewDeploymentFor(s Scale, topo *cluster.Topology, g *graph.Graph) (*Deployment, error) {
+	pt, sk := partition.RecursiveBisect(g, s.Levels, partition.Options{Seed: s.Seed})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		Scale:   s,
+		Graph:   g,
+		PG:      pg,
+		Sk:      sk,
+		Topo:    topo,
+		PlacePM: partition.RandomPlacement(pt.P, topo, s.Seed),
+		PlaceBA: partition.SketchPlacement(sk, topo),
+	}, nil
+}
+
+// Placement returns the placement an optimization level uses.
+func (d *Deployment) Placement(o OptLevel) *partition.Placement {
+	if o.BandwidthAwareLayout() {
+		return d.PlaceBA
+	}
+	return d.PlacePM
+}
+
+// Options returns the propagation options an optimization level uses.
+func (d *Deployment) Options(o OptLevel) propagation.Options {
+	return propagation.Options{
+		LocalPropagation: o.LocalOpts(),
+		LocalCombination: o.LocalOpts(),
+	}
+}
+
+// Runner builds a fresh metrics-clean runner on the deployment's topology.
+func (d *Deployment) Runner() *engine.Runner {
+	return engine.New(engine.Config{Topo: d.Topo})
+}
+
+// RunApp executes one application at one optimization level.
+func (d *Deployment) RunApp(app apps.App, o OptLevel) (engine.Metrics, error) {
+	_, m, err := app.RunPropagation(d.Runner(), d.PG, d.Placement(o), d.Options(o))
+	return m, err
+}
+
+// RunAppMR executes one application's MapReduce implementation (always on
+// the bandwidth-oblivious placement: MapReduce is layout-unaware).
+func (d *Deployment) RunAppMR(app apps.App) (engine.Metrics, error) {
+	_, m, err := app.RunMapReduce(d.Runner(), d.PG, d.PlacePM)
+	return m, err
+}

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// Table4Row reports the user-defined-function source line counts of one
+// application under both primitives (Table 4). PaperHadoop and
+// PaperPropagation reproduce the paper's reported numbers for context.
+type Table4Row struct {
+	App              string
+	MapReduceLoC     int
+	PropagationLoC   int
+	PaperHadoop      int
+	PaperHomegrown   int
+	PaperPropagation int
+}
+
+// paperTable4 is the paper's reported Table 4, keyed by app.
+var paperTable4 = map[string][3]int{
+	"VDD": {24, 33, 18},
+	"NR":  {147, 163, 21},
+	"RS":  {152, 168, 22},
+	"RLG": {131, 144, 23},
+	"TC":  {157, 171, 27},
+	"TFL": {171, 194, 25},
+}
+
+// udf method sets per primitive: the user-authored logic, excluding size
+// accounting and associativity glue.
+var (
+	propagationUDFs = map[string]bool{"Init": true, "Transfer": true, "TransferVertex": true, "Combine": true, "Merge": true}
+	mapreduceUDFs   = map[string]bool{"Map": true, "Reduce": true}
+)
+
+// receiver type prefixes per app within the apps package sources.
+var appReceivers = map[string][2]string{
+	"NR":  {"nrProgram", "nrMR"},
+	"RS":  {"rsProgram", "rsMR"},
+	"TC":  {"tcProgram", "tcMR"},
+	"VDD": {"vddProgram", "vddMR"},
+	"RLG": {"rlgProgram", "rlgMR"},
+	"TFL": {"tflProgram", "tflMR"},
+}
+
+// Table4 parses the application sources in appsDir (internal/apps) and
+// counts the lines of each user-defined function body.
+func Table4(appsDir string) ([]Table4Row, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, appsDir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", appsDir, err)
+	}
+	// methodLines[recv][method] = body line count.
+	methodLines := map[string]map[string]int{}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv == nil || fn.Body == nil {
+					continue
+				}
+				recv := receiverName(fn)
+				if recv == "" {
+					continue
+				}
+				start := fset.Position(fn.Pos()).Line
+				end := fset.Position(fn.End()).Line
+				if methodLines[recv] == nil {
+					methodLines[recv] = map[string]int{}
+				}
+				methodLines[recv][fn.Name.Name] = end - start + 1
+			}
+		}
+	}
+	order := []string{"VDD", "NR", "RS", "RLG", "TC", "TFL"}
+	var rows []Table4Row
+	for _, app := range order {
+		recvs := appReceivers[app]
+		prop := sumMethods(methodLines[recvs[0]], propagationUDFs)
+		mr := sumMethods(methodLines[recvs[1]], mapreduceUDFs)
+		if prop == 0 || mr == 0 {
+			return nil, fmt.Errorf("bench: no UDFs found for %s in %s", app, appsDir)
+		}
+		paper := paperTable4[app]
+		rows = append(rows, Table4Row{
+			App:              app,
+			MapReduceLoC:     mr,
+			PropagationLoC:   prop,
+			PaperHadoop:      paper[0],
+			PaperHomegrown:   paper[1],
+			PaperPropagation: paper[2],
+		})
+	}
+	return rows, nil
+}
+
+func receiverName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) != 1 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func sumMethods(methods map[string]int, want map[string]bool) int {
+	total := 0
+	for name, lines := range methods {
+		if want[name] {
+			total += lines
+		}
+	}
+	return total
+}
+
+// FindAppsDir locates internal/apps starting from a repo-relative guess,
+// for callers running from different working directories.
+func FindAppsDir(candidates ...string) string {
+	for _, c := range candidates {
+		if matches, _ := filepath.Glob(filepath.Join(c, "*.go")); len(matches) > 0 {
+			return c
+		}
+	}
+	return "internal/apps"
+}
+
+// WriteTable4 renders Table 4.
+func WriteTable4(w io.Writer, rows []Table4Row) {
+	fmt.Fprintln(w, "Table 4: Source code lines in user-defined functions")
+	fmt.Fprintf(w, "%-22s", "Engine")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7s", r.App)
+	}
+	fmt.Fprintf(w, "\n%-22s", "MapReduce (ours)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d", r.MapReduceLoC)
+	}
+	fmt.Fprintf(w, "\n%-22s", "Propagation (ours)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d", r.PropagationLoC)
+	}
+	fmt.Fprintf(w, "\n%-22s", "Hadoop (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d", r.PaperHadoop)
+	}
+	fmt.Fprintf(w, "\n%-22s", "Homegrown MR (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d", r.PaperHomegrown)
+	}
+	fmt.Fprintf(w, "\n%-22s", "Propagation (paper)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d", r.PaperPropagation)
+	}
+	fmt.Fprintln(w)
+}

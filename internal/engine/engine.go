@@ -1,0 +1,445 @@
+package engine
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/storage"
+)
+
+// Failure schedules the death of a machine at a virtual time, for the
+// fault-tolerance experiments (Figure 10).
+type Failure struct {
+	Machine cluster.MachineID
+	At      float64
+}
+
+// Config configures a Runner.
+type Config struct {
+	Topo *cluster.Topology
+	// Replicas provides failover targets; required when Failures is
+	// non-empty.
+	Replicas *storage.Replicas
+	// Failures to inject, in any order.
+	Failures []Failure
+	// HeartbeatInterval is the failure-detection latency of the job
+	// manager (Appendix B). Defaults to 1s.
+	HeartbeatInterval float64
+	// SlotsPerMachine is how many tasks a slave runs concurrently (the
+	// paper's slaves are quad-core Xeons; the job manager "dispatches one
+	// more task to a slave node when the slave node finishes a task").
+	// Defaults to 1.
+	SlotsPerMachine int
+}
+
+// Runner executes jobs on the simulated cluster. A Runner carries its
+// virtual clock and metrics across jobs, so a multi-iteration application
+// can run each iteration as a separate job and read cumulative metrics.
+type Runner struct {
+	cfg      Config
+	clock    float64
+	metrics  Metrics
+	timeline Timeline
+	dead     map[cluster.MachineID]bool
+	failures []Failure // pending, sorted by At
+	// progress tracking (Appendix B): per-machine busy time and the task
+	// completion timeline of the current job.
+	busySeconds   map[cluster.MachineID]float64
+	progress      []ProgressSample
+	progressTotal int
+}
+
+// New creates a Runner.
+func New(cfg Config) *Runner {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 1.0
+	}
+	if cfg.SlotsPerMachine <= 0 {
+		cfg.SlotsPerMachine = 1
+	}
+	r := &Runner{cfg: cfg, dead: make(map[cluster.MachineID]bool)}
+	r.failures = append(r.failures, cfg.Failures...)
+	sortFailures(r.failures)
+	return r
+}
+
+func sortFailures(fs []Failure) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].At < fs[j-1].At; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// Metrics returns the cumulative metrics of all jobs run so far.
+func (r *Runner) Metrics() Metrics {
+	m := r.metrics
+	m.ResponseSeconds = r.clock
+	return m
+}
+
+// Timeline exposes the recorded disk-I/O timeline.
+func (r *Runner) Timeline() *Timeline { return &r.timeline }
+
+// Clock returns the current virtual time.
+func (r *Runner) Clock() float64 { return r.clock }
+
+// NumMachines reports the size of the underlying cluster.
+func (r *Runner) NumMachines() int { return r.cfg.Topo.NumMachines() }
+
+// IsDead reports whether a machine has failed so far, for membership
+// tracking by the job scheduler (§3).
+func (r *Runner) IsDead(m cluster.MachineID) bool { return r.dead[m] }
+
+// Topology exposes the simulated cluster the runner executes on.
+func (r *Runner) Topology() *cluster.Topology { return r.cfg.Topo }
+
+// event kinds for the simulation heap.
+const (
+	evTaskDone = iota
+	evTransferDone
+	evFailure
+	evRecovery
+)
+
+type event struct {
+	at   float64
+	kind int
+	seq  int // tie-break for determinism
+	// task events
+	task    *Task
+	machine cluster.MachineID
+	// transfer events
+	bytes int64
+	// failure events
+	failMachine cluster.MachineID
+	lost        []*Task
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// stageRun holds the mutable state of one stage execution.
+type stageRun struct {
+	r        *Runner
+	job      *Job
+	stageIdx int
+	events   eventHeap
+	seq      int
+	queues   map[cluster.MachineID][]*Task
+	// running counts the tasks currently executing on each machine; a
+	// machine accepts up to Config.SlotsPerMachine concurrent tasks.
+	running map[cluster.MachineID]int
+	// egressFree / ingressFree model the NIC as the shared resource: a
+	// transfer occupies the sender's egress and the receiver's ingress
+	// for bytes/bandwidth(src,dst) seconds. All-to-all bursts therefore
+	// serialize at the NICs (incast), as on a real cluster.
+	egressFree  map[cluster.MachineID]float64
+	ingressFree map[cluster.MachineID]float64
+	remaining   int
+	inflight    int
+	// taskMachine records where each task actually ran (keyed by task
+	// pointer), for input re-transfer on recovery.
+	taskMachine map[*Task]cluster.MachineID
+	end         float64
+}
+
+// Run executes the job, advancing the runner's clock, and returns the
+// metrics of this job alone.
+func (r *Runner) Run(job *Job) (Metrics, error) {
+	if err := job.Validate(r.cfg.Topo); err != nil {
+		return Metrics{}, err
+	}
+	if len(r.failures) > 0 && r.cfg.Replicas == nil {
+		return Metrics{}, fmt.Errorf("engine: failures configured without replicas")
+	}
+	before := r.metrics
+	start := r.clock
+	total := 0
+	for _, st := range job.Stages {
+		total += len(st.Tasks)
+	}
+	r.resetProgress(total)
+	var prev *stageRun
+	for si := range job.Stages {
+		sr, err := r.runStage(job, si, prev)
+		if err != nil {
+			return Metrics{}, err
+		}
+		prev = sr
+	}
+	m := r.metrics
+	m.ResponseSeconds = r.clock - start
+	m.MachineSeconds -= before.MachineSeconds
+	m.NetworkBytes -= before.NetworkBytes
+	m.DiskBytes -= before.DiskBytes
+	m.TasksRun -= before.TasksRun
+	m.Recoveries -= before.Recoveries
+	return m, nil
+}
+
+func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
+	stage := job.Stages[si]
+	sr := &stageRun{
+		r: r, job: job, stageIdx: si,
+		queues:      make(map[cluster.MachineID][]*Task),
+		running:     make(map[cluster.MachineID]int),
+		egressFree:  make(map[cluster.MachineID]float64),
+		ingressFree: make(map[cluster.MachineID]float64),
+		taskMachine: make(map[*Task]cluster.MachineID),
+		remaining:   len(stage.Tasks),
+		end:         r.clock,
+	}
+	// Enqueue tasks on their machines, failing over dead primaries.
+	for _, t := range stage.Tasks {
+		m := t.Machine
+		if r.dead[m] {
+			fm, err := r.failover(t)
+			if err != nil {
+				return nil, err
+			}
+			m = fm
+		}
+		sr.queues[m] = append(sr.queues[m], t)
+	}
+	// Arm pending failures that fall inside this stage: push them as
+	// events; ones beyond the stage end simply never fire (they are kept
+	// for later stages).
+	for _, f := range r.failures {
+		if !r.dead[f.Machine] {
+			at := f.At
+			if at < r.clock {
+				at = r.clock
+			}
+			sr.push(&event{at: at, kind: evFailure, failMachine: f.Machine})
+		}
+	}
+	// Start machines in ID order for determinism.
+	for i := 0; i < r.cfg.Topo.NumMachines(); i++ {
+		sr.startNext(cluster.MachineID(i), r.clock)
+	}
+	// Event loop.
+	for sr.remaining > 0 || sr.inflight > 0 {
+		if sr.events.Len() == 0 {
+			return nil, fmt.Errorf("engine: stage %q deadlocked with %d tasks and %d transfers pending", stage.Name, sr.remaining, sr.inflight)
+		}
+		e := heap.Pop(&sr.events).(*event)
+		if e.at > sr.end {
+			sr.end = e.at
+		}
+		switch e.kind {
+		case evTaskDone:
+			sr.onTaskDone(e, prev)
+		case evTransferDone:
+			sr.inflight--
+		case evFailure:
+			sr.onFailure(e)
+		case evRecovery:
+			sr.onRecovery(e, prev)
+		}
+	}
+	r.clock = sr.end
+	return sr, nil
+}
+
+func (sr *stageRun) push(e *event) {
+	e.seq = sr.seq
+	sr.seq++
+	heap.Push(&sr.events, e)
+}
+
+// startNext launches queued tasks on machine m at time now until its slots
+// are full or its queue drains.
+func (sr *stageRun) startNext(m cluster.MachineID, now float64) {
+	if sr.r.dead[m] {
+		return
+	}
+	for sr.running[m] < sr.r.cfg.SlotsPerMachine {
+		q := sr.queues[m]
+		if len(q) == 0 {
+			return
+		}
+		t := q[0]
+		sr.queues[m] = q[1:]
+		sr.running[m]++
+		dur := sr.r.taskDuration(t)
+		sr.r.timeline.record(now, t.DiskRead)
+		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m})
+	}
+}
+
+func (r *Runner) taskDuration(t *Task) float64 {
+	return t.Compute + float64(t.DiskRead+t.DiskWrite)/r.cfg.Topo.DiskBandwidth()
+}
+
+func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
+	r := sr.r
+	if r.dead[e.machine] {
+		// The machine died while this completion event was in flight;
+		// the failure handler already requeued the task.
+		return
+	}
+	t := e.task
+	r.metrics.MachineSeconds += r.taskDuration(t)
+	r.metrics.DiskBytes += t.DiskRead + t.DiskWrite
+	r.metrics.TasksRun++
+	r.noteTaskDone(e.machine, e.at, r.taskDuration(t), r.progressTotal)
+	r.timeline.record(e.at, t.DiskWrite)
+	sr.taskMachine[t] = e.machine
+	sr.remaining--
+	sr.running[e.machine]--
+	// Launch output transfers toward next-stage task machines.
+	if len(t.Outputs) > 0 {
+		next := sr.job.Stages[sr.stageIdx+1]
+		for _, out := range t.Outputs {
+			dst := next.Tasks[out.DstTask]
+			dstM := dst.Machine
+			if r.dead[dstM] {
+				if fm, err := r.failover(dst); err == nil {
+					dstM = fm
+				}
+			}
+			sr.sendBytes(e.machine, dstM, out.Bytes, e.at)
+		}
+	}
+	sr.startNext(e.machine, e.at)
+}
+
+// sendBytes schedules a transfer from src to dst, serializing with earlier
+// transfers on the sender's egress NIC and the receiver's ingress NIC.
+// Intra-machine moves are free.
+func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float64) {
+	if bytes <= 0 {
+		return
+	}
+	if src == dst {
+		return
+	}
+	r := sr.r
+	start := now
+	if f := sr.egressFree[src]; f > start {
+		start = f
+	}
+	if f := sr.ingressFree[dst]; f > start {
+		start = f
+	}
+	dur := float64(bytes) / r.cfg.Topo.Bandwidth(src, dst)
+	sr.egressFree[src] = start + dur
+	sr.ingressFree[dst] = start + dur
+	r.metrics.NetworkBytes += bytes
+	sr.inflight++
+	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: bytes})
+}
+
+// onFailure marks the machine dead, collects its lost work and schedules the
+// manager's reaction one heartbeat later.
+func (sr *stageRun) onFailure(e *event) {
+	r := sr.r
+	m := e.failMachine
+	if r.dead[m] {
+		return
+	}
+	r.dead[m] = true
+	var lost []*Task
+	// Queued tasks are lost.
+	lost = append(lost, sr.queues[m]...)
+	sr.queues[m] = nil
+	// The running task (if any) is lost: find its completion event and
+	// mark it via the busy flag; the completion handler will see the dead
+	// machine and ignore it.
+	if sr.running[m] > 0 {
+		for _, ev := range sr.events {
+			if ev.kind == evTaskDone && ev.machine == m {
+				lost = append(lost, ev.task)
+			}
+		}
+		sr.running[m] = 0
+	}
+	sr.push(&event{
+		at:   e.at + r.cfg.HeartbeatInterval,
+		kind: evRecovery,
+		lost: lost,
+	})
+	// Keep the recovery event from racing stage completion.
+	sr.inflight++
+}
+
+// onRecovery reassigns lost tasks to replica machines, re-transferring the
+// inputs of Combine-type tasks (Appendix B).
+func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
+	r := sr.r
+	sr.inflight--
+	for _, t := range e.lost {
+		m, err := r.failover(t)
+		if err != nil {
+			// No live replica: surface as a deadlock; tests assert on
+			// the error path via Run's deadlock message.
+			continue
+		}
+		r.metrics.Recoveries++
+		if t.Kind == KindCombine && prev != nil {
+			// Re-transfer this task's inputs from their producers.
+			myIdx := sr.taskIndex(t)
+			if myIdx >= 0 {
+				prevStage := sr.job.Stages[sr.stageIdx-1]
+				for _, pt := range prevStage.Tasks {
+					for _, out := range pt.Outputs {
+						if out.DstTask != myIdx {
+							continue
+						}
+						src, ok := prev.taskMachine[pt]
+						if !ok || r.dead[src] {
+							// Producer machine gone: fetch from the
+							// producing partition's replica.
+							if fm, err := r.failover(pt); err == nil {
+								src = fm
+							} else {
+								continue
+							}
+						}
+						sr.sendBytes(src, m, out.Bytes, e.at)
+					}
+				}
+			}
+		}
+		sr.queues[m] = append(sr.queues[m], t)
+		sr.startNext(m, e.at)
+	}
+}
+
+func (sr *stageRun) taskIndex(t *Task) int {
+	for i, x := range sr.job.Stages[sr.stageIdx].Tasks {
+		if x == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// failover picks a live replica machine for a task's partition.
+func (r *Runner) failover(t *Task) (cluster.MachineID, error) {
+	if t.Part == NoPart || r.cfg.Replicas == nil {
+		// Unpinned task: any live machine.
+		for i := 0; i < r.cfg.Topo.NumMachines(); i++ {
+			if !r.dead[cluster.MachineID(i)] {
+				return cluster.MachineID(i), nil
+			}
+		}
+		return 0, fmt.Errorf("engine: no live machines")
+	}
+	return r.cfg.Replicas.Failover(t.Part, r.dead)
+}

@@ -1,0 +1,81 @@
+package engine
+
+import "sort"
+
+// Metrics aggregates the four quantities the paper reports for every
+// experiment (§F.1): response time, total machine time, total network I/O
+// and total disk I/O.
+type Metrics struct {
+	// ResponseSeconds is the elapsed virtual time from job submission to
+	// completion.
+	ResponseSeconds float64
+	// MachineSeconds is the busy time summed over all machines.
+	MachineSeconds float64
+	// NetworkBytes counts bytes moved between distinct machines
+	// (intra-machine transfers are free and uncounted, like the paper's
+	// network I/O metric).
+	NetworkBytes int64
+	// DiskBytes counts bytes read from or written to local disks.
+	DiskBytes int64
+	// TasksRun counts task executions including re-executions.
+	TasksRun int
+	// Recoveries counts task re-executions due to machine failures.
+	Recoveries int
+}
+
+// Add accumulates other into m (for multi-iteration jobs).
+func (m *Metrics) Add(other Metrics) {
+	m.ResponseSeconds += other.ResponseSeconds
+	m.MachineSeconds += other.MachineSeconds
+	m.NetworkBytes += other.NetworkBytes
+	m.DiskBytes += other.DiskBytes
+	m.TasksRun += other.TasksRun
+	m.Recoveries += other.Recoveries
+}
+
+// IOSample is a point on the disk-I/O-rate timeline (Figure 10).
+type IOSample struct {
+	// Time is the bucket start in virtual seconds.
+	Time float64
+	// DiskBytes is the disk traffic attributed to the bucket.
+	DiskBytes int64
+}
+
+// Timeline records bursty I/O events and renders them as a bucketed rate
+// series.
+type Timeline struct {
+	events []ioEvent
+}
+
+type ioEvent struct {
+	at    float64
+	bytes int64
+}
+
+func (tl *Timeline) record(at float64, bytes int64) {
+	if bytes != 0 {
+		tl.events = append(tl.events, ioEvent{at: at, bytes: bytes})
+	}
+}
+
+// Buckets aggregates the recorded events into fixed-width buckets covering
+// [0, end]. Events beyond end land in the final bucket.
+func (tl *Timeline) Buckets(width, end float64) []IOSample {
+	if width <= 0 || end <= 0 {
+		return nil
+	}
+	n := int(end/width) + 1
+	out := make([]IOSample, n)
+	for i := range out {
+		out[i].Time = float64(i) * width
+	}
+	sort.Slice(tl.events, func(i, j int) bool { return tl.events[i].at < tl.events[j].at })
+	for _, e := range tl.events {
+		idx := int(e.at / width)
+		if idx >= n {
+			idx = n - 1
+		}
+		out[idx].DiskBytes += e.bytes
+	}
+	return out
+}

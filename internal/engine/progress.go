@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// The job manager "records resource utilization and estimates the execution
+// progress of the job" (Appendix B). The runner keeps both: per-machine
+// busy time for utilization, and a task-completion timeline for progress.
+
+// ProgressSample is one point of a job's execution progress.
+type ProgressSample struct {
+	// Time is the virtual time of the sample.
+	Time float64
+	// Completed and Total count task completions; Fraction is their
+	// ratio, the manager's progress estimate.
+	Completed int
+	Total     int
+}
+
+// Fraction returns the completed share at this sample.
+func (p ProgressSample) Fraction() float64 {
+	if p.Total == 0 {
+		return 1
+	}
+	return float64(p.Completed) / float64(p.Total)
+}
+
+// Progress returns the task-completion timeline of the most recent Run
+// call: one sample per completed task, in time order.
+func (r *Runner) Progress() []ProgressSample {
+	out := make([]ProgressSample, len(r.progress))
+	copy(out, r.progress)
+	return out
+}
+
+// EstimateRemaining extrapolates the time left for the running job from the
+// current progress: with fraction f done at elapsed t, the estimate is
+// t*(1-f)/f. The job manager's GUI uses this estimate to display runtime
+// dynamics [3]. It returns 0 for a finished job and +Inf before any task
+// completes.
+func EstimateRemaining(samples []ProgressSample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	last := samples[len(samples)-1]
+	f := last.Fraction()
+	if f >= 1 {
+		return 0
+	}
+	if f == 0 || last.Time == 0 {
+		return math.Inf(1)
+	}
+	return last.Time * (1 - f) / f
+}
+
+// MachineUtilization reports each machine's busy time divided by the total
+// elapsed virtual time across all jobs run so far. Dead machines show the
+// utilization they accumulated before failing.
+func (r *Runner) MachineUtilization() []float64 {
+	out := make([]float64, r.cfg.Topo.NumMachines())
+	if r.clock <= 0 {
+		return out
+	}
+	for m, b := range r.busySeconds {
+		out[m] = b / r.clock
+	}
+	return out
+}
+
+// busyAccounting hooks called from the event loop.
+func (r *Runner) noteTaskDone(m cluster.MachineID, at, dur float64, total int) {
+	if r.busySeconds == nil {
+		r.busySeconds = make(map[cluster.MachineID]float64)
+	}
+	r.busySeconds[m] += dur
+	r.progress = append(r.progress, ProgressSample{
+		Time:      at,
+		Completed: len(r.progress) + 1,
+		Total:     total,
+	})
+}
+
+// resetProgress starts a fresh progress timeline for a new job.
+func (r *Runner) resetProgress(totalTasks int) {
+	r.progress = r.progress[:0]
+	r.progressTotal = totalTasks
+}

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestProgressTimeline(t *testing.T) {
+	r := simpleRunner(2)
+	job := &Job{Stages: []*Stage{{Tasks: []*Task{
+		{Machine: 0, Compute: 1},
+		{Machine: 1, Compute: 2},
+		{Machine: 0, Compute: 1},
+	}}}}
+	if _, err := r.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	samples := r.Progress()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(samples))
+	}
+	// Monotone in time and completion count; final fraction 1.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Time < samples[i-1].Time {
+			t.Fatal("progress time not monotone")
+		}
+		if samples[i].Completed != samples[i-1].Completed+1 {
+			t.Fatal("completion count not incremental")
+		}
+	}
+	if f := samples[len(samples)-1].Fraction(); f != 1 {
+		t.Fatalf("final fraction = %g", f)
+	}
+	if rem := EstimateRemaining(samples); rem != 0 {
+		t.Fatalf("remaining after completion = %g", rem)
+	}
+}
+
+func TestProgressResetsPerJob(t *testing.T) {
+	r := simpleRunner(1)
+	job := &Job{Stages: []*Stage{{Tasks: []*Task{{Machine: 0, Compute: 1}}}}}
+	if _, err := r.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r.Progress()); n != 1 {
+		t.Fatalf("progress carries over between jobs: %d samples", n)
+	}
+}
+
+func TestEstimateRemainingMidJob(t *testing.T) {
+	// Synthetic: half done at t=10 -> ~10 remaining.
+	samples := []ProgressSample{
+		{Time: 5, Completed: 1, Total: 4},
+		{Time: 10, Completed: 2, Total: 4},
+	}
+	if rem := EstimateRemaining(samples); math.Abs(rem-10) > 1e-9 {
+		t.Fatalf("remaining = %g, want 10", rem)
+	}
+	if rem := EstimateRemaining(nil); rem != 0 {
+		t.Fatalf("remaining of empty = %g", rem)
+	}
+}
+
+func TestMachineUtilization(t *testing.T) {
+	r := simpleRunner(2)
+	// Machine 0 busy 4s, machine 1 busy 2s; response = 4s.
+	job := &Job{Stages: []*Stage{{Tasks: []*Task{
+		{Machine: 0, Compute: 4},
+		{Machine: 1, Compute: 2},
+	}}}}
+	if _, err := r.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	u := r.MachineUtilization()
+	if math.Abs(u[0]-1.0) > 1e-9 {
+		t.Fatalf("u[0] = %g, want 1", u[0])
+	}
+	if math.Abs(u[1]-0.5) > 1e-9 {
+		t.Fatalf("u[1] = %g, want 0.5", u[1])
+	}
+}
+
+func TestUtilizationZeroBeforeRuns(t *testing.T) {
+	r := New(Config{Topo: cluster.NewT1(3)})
+	for _, u := range r.MachineUtilization() {
+		if u != 0 {
+			t.Fatal("nonzero utilization before any job")
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadFrom hardens the binary graph decoder against corrupt input: it
+// must return an error or a structurally valid graph, never panic or hang.
+func FuzzReadFrom(f *testing.F) {
+	// Seed corpus: valid graphs and simple corruptions.
+	for _, g := range []*Graph{Ring(8), Grid(3, 3), RMAT(DefaultRMAT(5, 2, 1))} {
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		if buf.Len() > 10 {
+			f.Add(buf.Bytes()[:buf.Len()/2])
+		}
+	}
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded graph must be internally consistent.
+		n := g.NumVertices()
+		var edges int64
+		for v := 0; v < n; v++ {
+			for _, nb := range g.Neighbors(VertexID(v)) {
+				if int(nb) >= n {
+					t.Fatalf("decoded neighbor %d out of range %d", nb, n)
+				}
+				edges++
+			}
+		}
+		if edges != g.NumEdges() {
+			t.Fatalf("edge count mismatch: %d vs %d", edges, g.NumEdges())
+		}
+	})
+}
+
+// FuzzParseEdgeList hardens the text parser the same way.
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n3 4 extra\n")
+	f.Add("a b\n")
+	f.Add("-1 0\n")
+	f.Add("999999999999999999999 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ParseEdgeList(strings.NewReader(in), 0)
+		if err != nil {
+			return
+		}
+		n := g.NumVertices()
+		g.ForEachEdge(func(u, v VertexID) bool {
+			if int(u) >= n || int(v) >= n {
+				t.Fatalf("edge (%d,%d) out of range %d", u, v, n)
+			}
+			return true
+		})
+	})
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripSmall(t *testing.T) {
+	g := FromEdges(4, [][2]VertexID{{0, 1}, {1, 2}, {3, 0}})
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("round trip changed graph")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	h, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if h.NumVertices() != 0 || h.NumEdges() != 0 {
+		t.Fatal("empty graph round trip failed")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, scalePick uint8) bool {
+		scale := 4 + int(scalePick%4)
+		g := RMAT(DefaultRMAT(scale, 3, seed))
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		h, err := ReadFrom(&buf)
+		if err != nil {
+			return false
+		}
+		return g.Equal(h)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	g := SmallWorld(DefaultSmallWorld(500, 1))
+	path := filepath.Join(t.TempDir(), "g.srfg")
+	if err := g.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	h, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !g.Equal(h) {
+		t.Fatal("save/load changed graph")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestReadFromRejectsBadMagic(t *testing.T) {
+	if _, err := ReadFrom(bytes.NewReader([]byte("NOTAGRAPHFILE....."))); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestReadFromRejectsTruncated(t *testing.T) {
+	g := Ring(100)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{1, 4, 8, 16, 24, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadFrom(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("expected error for truncation at %d", cut)
+		}
+	}
+}
+
+func TestReadFromRejectsCorruptOffsets(t *testing.T) {
+	g := Ring(8)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt a byte inside the offsets array (header is 24 bytes).
+	raw[24+9] = 0xFF
+	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("expected error for corrupt offsets")
+	}
+}
+
+func TestWriteToByteCount(t *testing.T) {
+	g := Ring(10)
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+}
+
+func TestRoundTripFuzzedBuilders(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		b := NewBuilder(n)
+		m := rng.Intn(4 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(VertexID(rng.Intn(n)), VertexID(rng.Intn(n)))
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadFrom(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Equal(h) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package mapreduce is Surfer's second primitive (§3.1): a home-grown
+// MapReduce over the partitioned graph. Map takes a whole graph partition as
+// input (so developers can hand-roll partition-level data reduction), but
+// the shuffle between Map and Reduce is ordinary hash partitioning —
+// oblivious to graph partitions and to the machines that own the
+// destination vertices. That obliviousness is exactly what propagation
+// removes, and what the Figure 7 comparison measures.
+package mapreduce
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// Key constrains MapReduce keys to integer-like types so the shuffle can
+// hash them deterministically.
+type Key interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}
+
+// Program is the user-defined logic of a MapReduce application on the
+// partitioned graph.
+type Program[K Key, V any, R any] interface {
+	// Map processes one partition and emits key/value pairs. The graph
+	// gives access to the adjacency lists of the partition's vertices.
+	Map(pi *storage.PartInfo, g *graph.Graph, emit func(K, V))
+	// Reduce folds all values of one key into a result.
+	Reduce(key K, values []V) R
+	// PairBytes reports the serialized size of one key/value pair.
+	PairBytes(k K, v V) int64
+	// ResultBytes reports the serialized size of one reduce output.
+	ResultBytes(r R) int64
+}
+
+// Options configures an execution.
+type Options struct {
+	// StatePerVertexBytes charges extra Map-side disk reads for
+	// application state stored alongside the partition (e.g. PageRank
+	// ranks).
+	StatePerVertexBytes int64
+	// ComputePerPair is CPU seconds per emitted pair (Map) and per
+	// folded value (Reduce). Zero selects a default matching the
+	// propagation cost constants.
+	ComputePerPair float64
+}
+
+func (o Options) computePerPair() float64 {
+	if o.ComputePerPair == 0 {
+		// Matches propagation.DefaultCostParams: the simulated system is
+		// I/O-bound like the paper's deployment.
+		return 20e-9
+	}
+	return o.ComputePerPair
+}
+
+// Combiner is an optional Program extension: when implemented, the values
+// a map task emits for the same key are folded map-side before the shuffle
+// (Google MapReduce's combiner [5]), shrinking the map output and the
+// network traffic for associative reductions.
+type Combiner[K Key, V any] interface {
+	CombineValues(key K, values []V) V
+}
+
+// hashKey is the shuffle's hash partitioner.
+func hashKey[K Key](k K, mod int) int {
+	h := uint64(k) * 0x9E3779B97F4A7C15
+	return int(h>>33) % mod
+}
+
+// Run executes the MapReduce job on the simulated cluster and returns the
+// reduce results keyed by K. The number of reduce tasks equals the number
+// of partitions; reducers are spread round-robin over machines, reflecting
+// hash shuffling's obliviousness to data placement.
+func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[K, V, R], opt Options) (map[K]R, engine.Metrics, error) {
+	if pl.NumPartitions() != pg.Part.P {
+		return nil, engine.Metrics{}, fmt.Errorf("mapreduce: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
+	}
+	p := pg.Part.P
+	numMachines := r.NumMachines()
+	reducers := p
+
+	// Semantic map phase with exact shuffle accounting.
+	buckets := make([]map[K][]V, reducers)
+	for i := range buckets {
+		buckets[i] = make(map[K][]V)
+	}
+	mapOutBytes := make([]int64, p)    // materialized map output per partition
+	shuffleBytes := make([][]int64, p) // [mapTask][reducer] bytes
+	pairsEmitted := make([]int64, p)
+	for i := range shuffleBytes {
+		shuffleBytes[i] = make([]int64, reducers)
+	}
+	combiner, hasCombiner := prog.(Combiner[K, V])
+	for i, pi := range pg.Parts {
+		if hasCombiner {
+			// Collect this map task's pairs, fold per key map-side,
+			// then account and shuffle only the folded pairs.
+			local := make(map[K][]V)
+			var keys []K
+			prog.Map(pi, pg.G, func(k K, v V) {
+				if _, seen := local[k]; !seen {
+					keys = append(keys, k)
+				}
+				local[k] = append(local[k], v)
+				pairsEmitted[i]++
+			})
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			for _, k := range keys {
+				vals := local[k]
+				folded := vals[0]
+				if len(vals) > 1 {
+					folded = combiner.CombineValues(k, vals)
+				}
+				red := hashKey(k, reducers)
+				buckets[red][k] = append(buckets[red][k], folded)
+				b := prog.PairBytes(k, folded)
+				mapOutBytes[i] += b
+				shuffleBytes[i][red] += b
+			}
+			continue
+		}
+		prog.Map(pi, pg.G, func(k K, v V) {
+			red := hashKey(k, reducers)
+			buckets[red][k] = append(buckets[red][k], v)
+			b := prog.PairBytes(k, v)
+			mapOutBytes[i] += b
+			shuffleBytes[i][red] += b
+			pairsEmitted[i]++
+		})
+	}
+
+	// Semantic reduce phase.
+	results := make(map[K]R)
+	reduceValues := make([]int64, reducers)
+	reduceOutBytes := make([]int64, reducers)
+	for red, bucket := range buckets {
+		keys := make([]K, 0, len(bucket))
+		for k := range bucket {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			vals := bucket[k]
+			res := prog.Reduce(k, vals)
+			results[k] = res
+			reduceValues[red] += int64(len(vals))
+			reduceOutBytes[red] += prog.ResultBytes(res)
+		}
+	}
+
+	// Build the two-stage engine job.
+	cpp := opt.computePerPair()
+	mapTasks := make([]*engine.Task, p)
+	for i, pi := range pg.Parts {
+		var edges int64
+		for _, v := range pi.Vertices {
+			edges += int64(pg.G.OutDegree(v))
+		}
+		var outs []engine.Output
+		for red := 0; red < reducers; red++ {
+			if b := shuffleBytes[i][red]; b > 0 {
+				outs = append(outs, engine.Output{DstTask: red, Bytes: b})
+			}
+		}
+		mapTasks[i] = &engine.Task{
+			Name:     fmt.Sprintf("map-p%d", i),
+			Kind:     engine.KindTransfer,
+			Part:     partition.PartID(i),
+			Machine:  pl.MachineOf[i],
+			Compute:  cpp * float64(edges+pairsEmitted[i]),
+			DiskRead: pi.Bytes + opt.StatePerVertexBytes*int64(len(pi.Vertices)),
+			// Map output is spilled, then rewritten sorted by reducer —
+			// the Google-style map-side sort pass [5].
+			DiskWrite: 2 * mapOutBytes[i],
+			Outputs:   outs,
+		}
+	}
+	reduceTasks := make([]*engine.Task, reducers)
+	for red := 0; red < reducers; red++ {
+		var received int64
+		for i := 0; i < p; i++ {
+			received += shuffleBytes[i][red]
+		}
+		reduceTasks[red] = &engine.Task{
+			Name:    fmt.Sprintf("reduce-%d", red),
+			Kind:    engine.KindCombine,
+			Part:    engine.NoPart,
+			Machine: reducerMachine(red, numMachines),
+			Compute: cpp * float64(reduceValues[red]),
+			// Shuffled input is materialized on arrival, merge-sorted
+			// (read + read again for the reduce scan), and the results
+			// written out.
+			DiskRead:  2 * received,
+			DiskWrite: received + reduceOutBytes[red],
+		}
+	}
+	// Reduce outputs land on the distributed file system with 3-way
+	// replication (GFS [6]): each reducer ships two remote copies, which
+	// the receiving machines write to disk. Iterative MapReduce pays this
+	// every iteration; Surfer's propagation writes partition-private
+	// state locally and recovers by re-execution instead.
+	sinkTasks := make([]*engine.Task, numMachines)
+	sinkWrite := make([]int64, numMachines)
+	for red := 0; red < reducers; red++ {
+		m := int(reducerMachine(red, numMachines))
+		for _, offset := range []int{1, 2} {
+			target := (m + offset) % numMachines
+			sinkWrite[target] += reduceOutBytes[red]
+			reduceTasks[red].Outputs = append(reduceTasks[red].Outputs,
+				engine.Output{DstTask: target, Bytes: reduceOutBytes[red]})
+		}
+	}
+	for m := 0; m < numMachines; m++ {
+		sinkTasks[m] = &engine.Task{
+			Name:      fmt.Sprintf("replica-sink-%d", m),
+			Kind:      engine.KindCombine,
+			Part:      engine.NoPart,
+			Machine:   cluster.MachineID(m),
+			DiskWrite: sinkWrite[m],
+		}
+	}
+	stages := []*engine.Stage{
+		{Name: "map", Tasks: mapTasks},
+		{Name: "reduce", Tasks: reduceTasks},
+		{Name: "replicate", Tasks: sinkTasks},
+	}
+	if opt.StatePerVertexBytes > 0 {
+		// Iterative MapReduce reads its per-vertex state from the DFS,
+		// where the previous iteration's reduce output is hash-scattered
+		// across machines rather than aligned with graph partitions: each
+		// map task fetches its state over the network from a remote DFS
+		// replica before it can scan its partition.
+		fetchTasks := make([]*engine.Task, p)
+		for i, pi := range pg.Parts {
+			bytes := opt.StatePerVertexBytes * int64(len(pi.Vertices))
+			src := cluster.MachineID((int(pl.MachineOf[i]) + 1 + i%max(numMachines-1, 1)) % numMachines)
+			fetchTasks[i] = &engine.Task{
+				Name:     fmt.Sprintf("dfs-read-p%d", i),
+				Kind:     engine.KindTransfer,
+				Part:     partition.PartID(i),
+				Machine:  src,
+				DiskRead: bytes,
+				Outputs:  []engine.Output{{DstTask: i, Bytes: bytes}},
+			}
+		}
+		stages = append([]*engine.Stage{{Name: "dfs-read", Tasks: fetchTasks}}, stages...)
+	}
+	job := &engine.Job{Name: "mapreduce", Stages: stages}
+	m, err := r.Run(job)
+	if err != nil {
+		return nil, engine.Metrics{}, err
+	}
+	return results, m, nil
+}
+
+// reducerMachine spreads reducers over machines round-robin — the hash
+// shuffle has no notion of data placement.
+func reducerMachine(red, numMachines int) cluster.MachineID {
+	return cluster.MachineID(red % numMachines)
+}

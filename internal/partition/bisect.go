@@ -1,0 +1,208 @@
+package partition
+
+import (
+	"math/rand"
+)
+
+// bisection kernel parameters.
+const (
+	// coarsenTarget stops coarsening once the graph is this small; the
+	// paper coarsens to "the scale of thousands of vertices" — a smaller
+	// target is fine at our laptop scale and GGGP handles the rest.
+	coarsenTarget = 256
+	// coarsenMinShrink aborts coarsening when a round shrinks the graph by
+	// less than this factor (heavy-edge matching has stalled).
+	coarsenMinShrink = 0.95
+	// gggpTrials is how many seeds GGGP grows, keeping the best cut.
+	gggpTrials = 4
+	// balanceTolerance allows each side of a bisection to exceed half the
+	// total vertex weight by this fraction.
+	balanceTolerance = 0.03
+)
+
+// bisectWork splits a weighted graph into two sides, returning side[v] in
+// {0,1} for every vertex. It is the full multilevel pipeline of Appendix A.2:
+// coarsening with heavy-edge matching, GGGP on the coarsest graph, and
+// FM boundary refinement at every uncoarsening step.
+func bisectWork(w *wgraph, rng *rand.Rand) []uint8 {
+	if w.n() < 2 {
+		return make([]uint8, w.n())
+	}
+	// Coarsening phase: remember the matchings to project back.
+	levels := []*wgraph{w}
+	var matchings [][]int32
+	cur := w
+	for cur.n() > coarsenTarget {
+		match, cn := cur.heavyEdgeMatching(rng)
+		if float64(cn) > coarsenMinShrink*float64(cur.n()) {
+			break
+		}
+		coarse := cur.contract(match, cn)
+		matchings = append(matchings, match)
+		levels = append(levels, coarse)
+		cur = coarse
+	}
+
+	// Initial partitioning on the coarsest graph.
+	side := gggp(cur, rng)
+	refine(cur, side)
+
+	// Uncoarsening: project the partition to the finer graph and refine.
+	for li := len(levels) - 2; li >= 0; li-- {
+		fine := levels[li]
+		match := matchings[li]
+		fineSide := make([]uint8, fine.n())
+		for v := range fineSide {
+			fineSide[v] = side[match[v]]
+		}
+		refine(fine, fineSide)
+		side = fineSide
+	}
+	return side
+}
+
+// gggp performs Greedy Graph Growing Partitioning [15] on the coarsest
+// graph: from a random seed, grow side 0 by repeatedly absorbing the
+// frontier vertex with maximum gain until it holds half the vertex weight.
+// Several trials are run and the best cut wins.
+func gggp(w *wgraph, rng *rand.Rand) []uint8 {
+	n := w.n()
+	total := w.totalVertexWeight()
+	half := total / 2
+
+	var bestSide []uint8
+	bestCut := int64(-1)
+	for trial := 0; trial < gggpTrials; trial++ {
+		side := make([]uint8, n)
+		for i := range side {
+			side[i] = 1
+		}
+		inZero := make([]bool, n)
+		// gain[v] = (weight of edges from v into side 0) - (weight into side 1);
+		// moving a high-gain frontier vertex into side 0 shrinks the cut.
+		gain := make([]int64, n)
+		for v := range gain {
+			for _, e := range w.adj[v] {
+				gain[v] -= e.w
+			}
+		}
+		seed := rng.Intn(n)
+		var grown int64
+		add := func(v int) {
+			inZero[v] = true
+			side[v] = 0
+			grown += w.vwgt[v]
+			for _, e := range w.adj[v] {
+				gain[e.to] += 2 * e.w
+			}
+		}
+		add(seed)
+		for grown < half {
+			// Pick the frontier vertex (neighbor of side 0) with max gain;
+			// fall back to any unabsorbed vertex if the frontier is empty
+			// (disconnected graph).
+			best := -1
+			var bestGain int64
+			for v := 0; v < n; v++ {
+				if inZero[v] {
+					continue
+				}
+				onFrontier := false
+				for _, e := range w.adj[v] {
+					if inZero[e.to] {
+						onFrontier = true
+						break
+					}
+				}
+				if !onFrontier {
+					continue
+				}
+				if best == -1 || gain[v] > bestGain {
+					best, bestGain = v, gain[v]
+				}
+			}
+			if best == -1 {
+				for v := 0; v < n; v++ {
+					if !inZero[v] {
+						best = v
+						break
+					}
+				}
+				if best == -1 {
+					break
+				}
+			}
+			add(best)
+		}
+		cut := cutWeight(w, side)
+		if bestCut < 0 || cut < bestCut {
+			bestCut = cut
+			bestSide = side
+		}
+	}
+	return bestSide
+}
+
+// cutWeight sums the weight of edges crossing the bisection. Each undirected
+// edge appears twice in adj, so the sum is halved.
+func cutWeight(w *wgraph, side []uint8) int64 {
+	var s int64
+	for v := range w.adj {
+		for _, e := range w.adj[v] {
+			if side[v] != side[e.to] {
+				s += e.w
+			}
+		}
+	}
+	return s / 2
+}
+
+// refine runs Fiduccia–Mattheyses-style boundary refinement: passes of
+// single-vertex moves in best-gain order with a balance constraint,
+// accepting a pass only if it improved the cut ("local refinement can
+// significantly improve the partition quality", Appendix A.2).
+func refine(w *wgraph, side []uint8) {
+	n := w.n()
+	total := w.totalVertexWeight()
+	maxSide := total/2 + int64(float64(total)*balanceTolerance) + 1
+
+	sideWeight := [2]int64{}
+	for v := 0; v < n; v++ {
+		sideWeight[side[v]] += w.vwgt[v]
+	}
+	gain := func(v int) int64 {
+		// Cut reduction if v moves to the other side.
+		var g int64
+		for _, e := range w.adj[v] {
+			if side[e.to] != side[v] {
+				g += e.w
+			} else {
+				g -= e.w
+			}
+		}
+		return g
+	}
+	for pass := 0; pass < 8; pass++ {
+		improved := false
+		// One sweep: move any vertex with positive gain whose move keeps
+		// balance. Greedy single-sweep FM is sufficient at our scales.
+		for v := 0; v < n; v++ {
+			g := gain(v)
+			if g <= 0 {
+				continue
+			}
+			from := side[v]
+			to := 1 - from
+			if sideWeight[to]+w.vwgt[v] > maxSide {
+				continue
+			}
+			side[v] = to
+			sideWeight[from] -= w.vwgt[v]
+			sideWeight[to] += w.vwgt[v]
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestKWayRefineImprovesRandomPartitioning(t *testing.T) {
+	g := graph.SmallWorld(graph.DefaultSmallWorld(2000, 31))
+	pt := Random(g, 8, 31)
+	before := CrossEdges(g, pt)
+	moves := KWayRefine(g, pt, 8, 0.1)
+	after := CrossEdges(g, pt)
+	if moves == 0 {
+		t.Fatal("no moves on a random partitioning")
+	}
+	if after >= before {
+		t.Fatalf("refinement did not improve cut: %d -> %d", before, after)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b := Balance(pt); b > 1.15 {
+		t.Fatalf("balance = %.2f after refinement", b)
+	}
+}
+
+func TestKWayRefineNeverWorsensBisection(t *testing.T) {
+	g := graph.SmallWorld(graph.DefaultSmallWorld(3000, 32))
+	pt, _ := RecursiveBisect(g, 4, Options{Seed: 32})
+	before := CrossEdges(g, pt)
+	KWayRefine(g, pt, 4, 0.05)
+	after := CrossEdges(g, pt)
+	if after > before {
+		t.Fatalf("refinement worsened cut: %d -> %d", before, after)
+	}
+	if err := pt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKWayRefineRespectsBalance(t *testing.T) {
+	// A star graph tempts refinement to pile everything into the hub's
+	// partition; the balance constraint must prevent that.
+	n := 400
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.VertexID(i))
+		b.AddEdge(graph.VertexID(i), 0)
+	}
+	g := b.Build()
+	pt := Random(g, 4, 33)
+	initial := pt.Sizes()
+	KWayRefine(g, pt, 10, 0.1)
+	sizes := pt.Sizes()
+	cap := int(float64(n) / 4 * 1.1)
+	for p, s := range sizes {
+		// Refinement must never grow a partition beyond the cap; ones
+		// that started above it may only shrink or stay.
+		limit := cap
+		if initial[p] > limit {
+			limit = initial[p]
+		}
+		if s > limit {
+			t.Fatalf("partition %d grew to %d (limit %d)", p, s, limit)
+		}
+	}
+}
+
+func TestKWayRefineDeterministic(t *testing.T) {
+	g := graph.SmallWorld(graph.DefaultSmallWorld(1000, 34))
+	a := Random(g, 4, 34)
+	bpt := Random(g, 4, 34)
+	KWayRefine(g, a, 5, 0.1)
+	KWayRefine(g, bpt, 5, 0.1)
+	for v := range a.Assign {
+		if a.Assign[v] != bpt.Assign[v] {
+			t.Fatal("nondeterministic refinement")
+		}
+	}
+}
+
+func TestKWayRefineIdempotentAtFixpoint(t *testing.T) {
+	g := graph.SmallWorld(graph.DefaultSmallWorld(1000, 35))
+	pt := Random(g, 4, 35)
+	KWayRefine(g, pt, 20, 0.1) // run to convergence
+	if moves := KWayRefine(g, pt, 1, 0.1); moves != 0 {
+		t.Fatalf("fixpoint not stable: %d extra moves", moves)
+	}
+}

@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Sketch is the partition sketch of §4.1: a balanced binary tree modeling
+// the multi-level bisection process. The root (depth 0) is the whole data
+// graph; the node at (depth, index) holds the vertex set fed to the bisection
+// at that point; the 2^levels leaves are the final partitions, ordered so
+// that leaf i is partition i.
+type Sketch struct {
+	levels  int
+	members [][][]graph.VertexID // members[depth][index]
+}
+
+func newSketch(levels int) *Sketch {
+	s := &Sketch{levels: levels}
+	s.members = make([][][]graph.VertexID, levels+1)
+	for d := 0; d <= levels; d++ {
+		s.members[d] = make([][]graph.VertexID, 1<<d)
+	}
+	return s
+}
+
+// setNode records the vertex membership of the sketch node at (depth, index).
+func (s *Sketch) setNode(depth, index int, subset []graph.VertexID) {
+	cp := make([]graph.VertexID, len(subset))
+	copy(cp, subset)
+	s.members[depth][index] = cp
+}
+
+// Levels reports the leaf depth; the tree has Levels+1 levels and 2^Levels
+// leaves (the paper's "(log2 P + 1) levels").
+func (s *Sketch) Levels() int { return s.levels }
+
+// NumPartitions reports the number of leaves.
+func (s *Sketch) NumPartitions() int { return 1 << s.levels }
+
+// Node returns the vertex set of sketch node (depth, index). The returned
+// slice must not be modified.
+func (s *Sketch) Node(depth, index int) []graph.VertexID {
+	return s.members[depth][index]
+}
+
+// LeafParts returns, for a leaf index, the partition ID (identical by
+// construction; kept for readability at call sites).
+func (s *Sketch) LeafParts(index int) PartID { return PartID(index) }
+
+// CrossEdges counts C(n1, n2): directed edges of g with one endpoint in
+// sketch node (depth, i) and the other in (depth, j), in either direction.
+func (s *Sketch) CrossEdges(g *graph.Graph, depth, i, j int) int64 {
+	inI := makeMemberSet(g.NumVertices(), s.members[depth][i])
+	inJ := makeMemberSet(g.NumVertices(), s.members[depth][j])
+	var count int64
+	g.ForEachEdge(func(u, v graph.VertexID) bool {
+		if (inI[u] && inJ[v]) || (inJ[u] && inI[v]) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// LevelCrossEdges computes T_l: the total number of directed edges of g
+// crossing between any two distinct sketch nodes at depth l. The
+// monotonicity property (§4.1) states T_i <= T_j for i <= j on an ideal
+// sketch.
+func (s *Sketch) LevelCrossEdges(g *graph.Graph, depth int) int64 {
+	nodeOf := make([]int32, g.NumVertices())
+	for i := range nodeOf {
+		nodeOf[i] = -1
+	}
+	for idx, set := range s.members[depth] {
+		for _, v := range set {
+			nodeOf[v] = int32(idx)
+		}
+	}
+	var count int64
+	g.ForEachEdge(func(u, v graph.VertexID) bool {
+		if nodeOf[u] != nodeOf[v] && nodeOf[u] >= 0 && nodeOf[v] >= 0 {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Validate checks sketch structural invariants: each level is a refinement
+// of the previous (children partition their parent's vertex set), and the
+// leaf sets match the given partitioning.
+func (s *Sketch) Validate(pt *Partitioning) error {
+	for d := 0; d < s.levels; d++ {
+		for idx := range s.members[d] {
+			parent := len(s.members[d][idx])
+			kids := len(s.members[d+1][2*idx]) + len(s.members[d+1][2*idx+1])
+			if parent != kids {
+				return fmt.Errorf("sketch: node (%d,%d) has %d vertices but children hold %d", d, idx, parent, kids)
+			}
+		}
+	}
+	for leaf := 0; leaf < s.NumPartitions(); leaf++ {
+		for _, v := range s.members[s.levels][leaf] {
+			if pt.Assign[v] != PartID(leaf) {
+				return fmt.Errorf("sketch: leaf %d contains vertex %d assigned to %d", leaf, v, pt.Assign[v])
+			}
+		}
+	}
+	return nil
+}
+
+func makeMemberSet(n int, members []graph.VertexID) []bool {
+	set := make([]bool, n)
+	for _, v := range members {
+		set[v] = true
+	}
+	return set
+}

@@ -1,0 +1,149 @@
+// Package partition implements Surfer's graph partitioning (§4): a
+// multi-level bisection kernel (coarsen → initial partition → refine →
+// uncoarsen, Appendix A.2), recursive bisection into P = 2^L partitions, the
+// partition-sketch model with its local-optimality / monotonicity / proximity
+// properties, and the bandwidth-aware algorithm (Algorithm 4) that bisects
+// the machine graph and the data graph in lockstep to place partitions on
+// machine sets whose mutual bandwidth matches their cross-partition edge
+// counts.
+package partition
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// wedge is a weighted adjacency entry in the coarsening work graph.
+type wedge struct {
+	to int32
+	w  int64
+}
+
+// wgraph is the mutable weighted graph the multilevel kernel coarsens.
+// Vertex weights count the original vertices collapsed into each coarse
+// vertex; edge weights count the original undirected edges collapsed into
+// each coarse edge. Both are what bisection must balance and minimize.
+type wgraph struct {
+	vwgt []int64
+	adj  [][]wedge
+}
+
+func (w *wgraph) n() int { return len(w.vwgt) }
+
+// totalVertexWeight sums all vertex weights (invariant under coarsening).
+func (w *wgraph) totalVertexWeight() int64 {
+	var s int64
+	for _, v := range w.vwgt {
+		s += v
+	}
+	return s
+}
+
+// newWorkGraph builds the induced weighted subgraph of an undirected graph
+// over the given (global-ID) vertex subset. Each undirected edge gets
+// weight 1; each vertex is weighted by 1 + its degree, so bisection
+// balances partitions by *edge* count — the paper's constraint ("all
+// partitions with similar number of edges", §2), which also balances
+// per-partition bytes and work on skewed graphs. It also returns the
+// local→global map.
+func newWorkGraph(und *graph.Graph, subset []graph.VertexID) (*wgraph, []graph.VertexID) {
+	local := make(map[graph.VertexID]int32, len(subset))
+	for i, v := range subset {
+		local[v] = int32(i)
+	}
+	w := &wgraph{
+		vwgt: make([]int64, len(subset)),
+		adj:  make([][]wedge, len(subset)),
+	}
+	for i, v := range subset {
+		w.vwgt[i] = 1 + int64(und.OutDegree(v))
+		for _, nb := range und.Neighbors(v) {
+			if j, ok := local[nb]; ok {
+				w.adj[i] = append(w.adj[i], wedge{to: j, w: 1})
+			}
+		}
+	}
+	toGlobal := make([]graph.VertexID, len(subset))
+	copy(toGlobal, subset)
+	return w, toGlobal
+}
+
+// contract builds the coarse graph given a matching: match[v] is the coarse
+// vertex index of v. Parallel edges between the same coarse pair merge with
+// summed weight; edges internal to a coarse vertex disappear.
+func (w *wgraph) contract(match []int32, coarseN int) *wgraph {
+	c := &wgraph{
+		vwgt: make([]int64, coarseN),
+		adj:  make([][]wedge, coarseN),
+	}
+	for v := range w.vwgt {
+		c.vwgt[match[v]] += w.vwgt[v]
+	}
+	// Merge adjacency using a scratch map keyed by coarse neighbor; reused
+	// across coarse vertices via the lastSeen trick to avoid reallocating.
+	acc := make(map[int32]int64)
+	// Group fine vertices by coarse vertex.
+	members := make([][]int32, coarseN)
+	for v := range w.adj {
+		cv := match[v]
+		members[cv] = append(members[cv], int32(v))
+	}
+	for cv := int32(0); cv < int32(coarseN); cv++ {
+		clear(acc)
+		for _, v := range members[cv] {
+			for _, e := range w.adj[v] {
+				cn := match[e.to]
+				if cn != cv {
+					acc[cn] += e.w
+				}
+			}
+		}
+		if len(acc) == 0 {
+			continue
+		}
+		list := make([]wedge, 0, len(acc))
+		for to, wt := range acc {
+			list = append(list, wedge{to: to, w: wt})
+		}
+		// Sort for determinism: map iteration order would otherwise leak
+		// into matching and refinement decisions.
+		sort.Slice(list, func(i, j int) bool { return list[i].to < list[j].to })
+		c.adj[cv] = list
+	}
+	return c
+}
+
+// heavyEdgeMatching computes a matching for coarsening: vertices are visited
+// in random order; each unmatched vertex is matched with its unmatched
+// neighbor of maximum edge weight (the paper's multilevel scheme [15,16]).
+// It returns the fine→coarse map and the coarse vertex count.
+func (w *wgraph) heavyEdgeMatching(rng *rand.Rand) ([]int32, int) {
+	n := w.n()
+	match := make([]int32, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	next := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		var best int32 = -1
+		var bestW int64 = -1
+		for _, e := range w.adj[v] {
+			if match[e.to] < 0 && e.to != v && e.w > bestW {
+				bestW, best = e.w, e.to
+			}
+		}
+		match[v] = next
+		if best >= 0 {
+			match[best] = next
+		}
+		next++
+	}
+	return match, int(next)
+}

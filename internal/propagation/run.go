@@ -1,0 +1,333 @@
+package propagation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// State carries the per-vertex values between iterations.
+type State[V any] struct {
+	// Values[v] is real vertex v's current value.
+	Values []V
+	// Virtual holds values of virtual vertices that have received data.
+	Virtual map[graph.VertexID]V
+}
+
+// NewState initializes the state with Program.Init.
+func NewState[V any](pg *storage.PartitionedGraph, prog Program[V]) *State[V] {
+	st := &State[V]{
+		Values:  make([]V, pg.G.NumVertices()),
+		Virtual: make(map[graph.VertexID]V),
+	}
+	for v := range st.Values {
+		st.Values[v] = prog.Init(graph.VertexID(v))
+	}
+	return st
+}
+
+// VirtualPartition assigns virtual vertex ids to partitions round-robin, so
+// virtual combine work spreads across machines (§3.2).
+func VirtualPartition(v graph.VertexID, p int) partition.PartID {
+	return partition.PartID(int(v) % p)
+}
+
+// Iterate runs one propagation iteration (Algorithm 5) on the simulated
+// cluster: the Transfer stage applies Program.Transfer to every out-edge of
+// every partition in parallel, the Combine stage folds the received bags.
+// It returns the next state and the iteration's metrics. The runner's clock
+// and cumulative metrics advance.
+func Iterate[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) (*State[V], engine.Metrics, error) {
+	if len(st.Values) != pg.G.NumVertices() {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: state has %d values, graph has %d vertices", len(st.Values), pg.G.NumVertices())
+	}
+	if pl.NumPartitions() != pg.Part.P {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
+	}
+	ex := newExecution(pg, pl, prog, st, opt)
+	ex.transferAll()
+	next := ex.combineAll()
+	job := ex.buildJob()
+	m, err := r.Run(job)
+	if err != nil {
+		return nil, engine.Metrics{}, err
+	}
+	return next, m, nil
+}
+
+// execution holds the per-iteration working state: semantic bags plus the
+// exact I/O accounting that becomes the engine job.
+type execution[V any] struct {
+	pg   *storage.PartitionedGraph
+	pl   *partition.Placement
+	prog Program[V]
+	st   *State[V]
+	opt  Options
+
+	n     int
+	assoc bool
+	// bags[v] is the list of values real vertex v received; virtualBags
+	// holds the same for virtual vertices.
+	bags        [][]V
+	virtualBags map[graph.VertexID][]V
+
+	// Per-partition accounting.
+	localBytes    []int64         // intermediates materialized inside the partition
+	remoteBytes   []map[int]int64 // [src][dst] network bytes
+	receivedBytes []int64         // sum of inbound remote bytes per partition
+	combineCount  []int64         // values folded in each partition's combine
+	stateRead     []int64         // prior state bytes read by transfer tasks
+	stateWrite    []int64         // next state bytes written by combine tasks
+	// SkipStateIO suppresses state read/write accounting for chosen
+	// vertices (used by cascaded propagation, §5.2). Nil means none.
+	skipStateIO []bool
+	// crossHook, when set, intercepts remote-bound values after local
+	// combination: returning true claims the value (the caller appends it
+	// to the destination bag and accounts its transfer), false leaves it
+	// on the direct partition-to-partition path. Used by tree aggregation.
+	crossHook func(srcPart int, dst graph.VertexID, v V) bool
+}
+
+func newExecution[V any](pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) *execution[V] {
+	p := pg.Part.P
+	ex := &execution[V]{
+		pg: pg, pl: pl, prog: prog, st: st, opt: opt,
+		n:             pg.G.NumVertices(),
+		assoc:         prog.Associative(),
+		bags:          make([][]V, pg.G.NumVertices()),
+		virtualBags:   make(map[graph.VertexID][]V),
+		localBytes:    make([]int64, p),
+		remoteBytes:   make([]map[int]int64, p),
+		receivedBytes: make([]int64, p),
+		combineCount:  make([]int64, p),
+		stateRead:     make([]int64, p),
+		stateWrite:    make([]int64, p),
+	}
+	for i := range ex.remoteBytes {
+		ex.remoteBytes[i] = make(map[int]int64)
+	}
+	return ex
+}
+
+// partOf resolves a destination (real or virtual) to its partition.
+func (ex *execution[V]) partOf(dst graph.VertexID) partition.PartID {
+	if int(dst) < ex.n {
+		return ex.pg.Part.Assign[dst]
+	}
+	return VirtualPartition(dst, ex.pg.Part.P)
+}
+
+// transferAll runs the Transfer stage semantics for every partition and
+// accumulates the accounting.
+func (ex *execution[V]) transferAll() {
+	useLocalComb := ex.assoc && ex.opt.LocalCombination
+	for p, pi := range ex.pg.Parts {
+		// Pending emissions grouped by destination for local combination:
+		// remote-bound groups shrink the transfer, same-partition groups
+		// headed to non-fusable vertices shrink the materialized
+		// intermediates (one merged value per destination instead of one
+		// per edge).
+		var groups map[graph.VertexID][]V
+		if useLocalComb {
+			groups = make(map[graph.VertexID][]V)
+		}
+		vt, hasVT := any(ex.prog).(VertexTransferrer[V])
+		for _, u := range pi.Vertices {
+			ex.stateRead[p] += ex.prog.Bytes(ex.st.Values[u])
+			val := ex.st.Values[u]
+			emit := func(d graph.VertexID, v V) {
+				ex.emit(p, pi, groups, d, v)
+			}
+			if hasVT {
+				vt.TransferVertex(u, val, emit)
+			}
+			for _, dst := range ex.pg.G.Neighbors(u) {
+				ex.prog.Transfer(u, val, dst, emit)
+			}
+		}
+		if useLocalComb {
+			ex.flushGroups(p, groups)
+		}
+	}
+}
+
+// emit classifies one emitted value and records its cost.
+func (ex *execution[V]) emit(p int, pi *storage.PartInfo, groups map[graph.VertexID][]V, dst graph.VertexID, v V) {
+	if int(dst) >= ex.n+ex.opt.VirtualVertices || int(dst) < 0 {
+		panic(fmt.Sprintf("propagation: emission to vertex %d outside real+virtual space", dst))
+	}
+	q := ex.partOf(dst)
+	if int(q) == int(pi.ID) {
+		// Same-partition emission: free when the destination's inputs are
+		// entirely local (no cross in-edge) and local propagation is on;
+		// otherwise materialized to local disk for the Combine stage —
+		// after per-destination merging when local combination applies.
+		fusable := int(dst) < ex.n && !pi.HasCrossInEdge(dst)
+		if ex.opt.LocalPropagation && fusable {
+			ex.appendBag(dst, v)
+			return
+		}
+		if groups != nil {
+			groups[dst] = append(groups[dst], v)
+			return
+		}
+		ex.localBytes[p] += ex.prog.Bytes(v)
+		ex.appendBag(dst, v)
+		return
+	}
+	if groups != nil {
+		groups[dst] = append(groups[dst], v)
+		return
+	}
+	if ex.crossHook != nil && ex.crossHook(p, dst, v) {
+		return
+	}
+	ex.remoteBytes[p][int(q)] += ex.prog.Bytes(v)
+	ex.appendBag(dst, v)
+}
+
+// flushGroups merges grouped remote emissions (local combination) and
+// charges the merged sizes.
+func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V) {
+	dsts := make([]graph.VertexID, 0, len(groups))
+	for d := range groups {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		vals := groups[d]
+		merged := vals[0]
+		if len(vals) > 1 {
+			merged = ex.prog.Merge(d, vals)
+		}
+		q := ex.partOf(d)
+		if int(q) == p {
+			ex.localBytes[p] += ex.prog.Bytes(merged)
+		} else {
+			if ex.crossHook != nil && ex.crossHook(p, d, merged) {
+				continue
+			}
+			ex.remoteBytes[p][int(q)] += ex.prog.Bytes(merged)
+		}
+		ex.appendBag(d, merged)
+	}
+}
+
+func (ex *execution[V]) appendBag(dst graph.VertexID, v V) {
+	if int(dst) < ex.n {
+		ex.bags[dst] = append(ex.bags[dst], v)
+	} else {
+		ex.virtualBags[dst] = append(ex.virtualBags[dst], v)
+	}
+}
+
+// combineAll runs the Combine stage semantics, producing the next state and
+// the combine-side accounting.
+func (ex *execution[V]) combineAll() *State[V] {
+	next := &State[V]{
+		Values:  make([]V, ex.n),
+		Virtual: make(map[graph.VertexID]V, len(ex.virtualBags)),
+	}
+	for p, pi := range ex.pg.Parts {
+		for _, v := range pi.Vertices {
+			bag := ex.bags[v]
+			next.Values[v] = ex.prog.Combine(v, ex.st.Values[v], bag)
+			ex.combineCount[p] += int64(len(bag)) + 1
+			if ex.skipStateIO == nil || !ex.skipStateIO[v] {
+				ex.stateWrite[p] += ex.prog.Bytes(next.Values[v])
+			} else {
+				// Cascaded vertices skip both the prior-state read and
+				// the next-state write for this iteration.
+				ex.stateRead[p] -= ex.prog.Bytes(ex.st.Values[v])
+			}
+		}
+	}
+	// Virtual vertices: combined in their owning partition with a zero
+	// previous value on first receipt.
+	dsts := make([]graph.VertexID, 0, len(ex.virtualBags))
+	for d := range ex.virtualBags {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, d := range dsts {
+		q := int(ex.partOf(d))
+		var prev V
+		if old, ok := ex.st.Virtual[d]; ok {
+			prev = old
+		}
+		bag := ex.virtualBags[d]
+		next.Virtual[d] = ex.prog.Combine(d, prev, bag)
+		ex.combineCount[q] += int64(len(bag)) + 1
+		ex.stateWrite[q] += ex.prog.Bytes(next.Virtual[d])
+	}
+	// Carry forward untouched virtual values.
+	for d, v := range ex.st.Virtual {
+		if _, ok := next.Virtual[d]; !ok {
+			next.Virtual[d] = v
+		}
+	}
+	return next
+}
+
+// buildJob converts the accounting into a two-stage engine job.
+func (ex *execution[V]) buildJob() *engine.Job {
+	p := ex.pg.Part.P
+	costs := ex.opt.costs()
+	transfer := make([]*engine.Task, p)
+	combine := make([]*engine.Task, p)
+	for _, by := range ex.remoteBytes {
+		for q, b := range by {
+			ex.receivedBytes[q] += b
+		}
+	}
+	for i := 0; i < p; i++ {
+		pi := ex.pg.Parts[i]
+		m := ex.pl.MachineOf[i]
+		var edges int64
+		for _, v := range pi.Vertices {
+			edges += int64(ex.pg.G.OutDegree(v))
+		}
+		var outs []engine.Output
+		qs := make([]int, 0, len(ex.remoteBytes[i]))
+		for q := range ex.remoteBytes[i] {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			if b := ex.remoteBytes[i][q]; b > 0 {
+				outs = append(outs, engine.Output{DstTask: q, Bytes: b})
+			}
+		}
+		transfer[i] = &engine.Task{
+			Name:      fmt.Sprintf("transfer-p%d", i),
+			Kind:      engine.KindTransfer,
+			Part:      partition.PartID(i),
+			Machine:   m,
+			Compute:   costs.ComputePerEdge * float64(edges),
+			DiskRead:  pi.Bytes + ex.stateRead[i],
+			DiskWrite: ex.localBytes[i],
+			Outputs:   outs,
+		}
+		combine[i] = &engine.Task{
+			Name:    fmt.Sprintf("combine-p%d", i),
+			Kind:    engine.KindCombine,
+			Part:    partition.PartID(i),
+			Machine: m,
+			Compute: costs.ComputePerValue * float64(ex.combineCount[i]),
+			// The combine input is the locally materialized intermediates
+			// plus the remote arrivals staged on local disk ("all the
+			// intermediate results required for the Combine stage is
+			// stored on the same machine", §5.1).
+			DiskRead:  ex.localBytes[i] + ex.receivedBytes[i],
+			DiskWrite: ex.stateWrite[i],
+		}
+	}
+	return &engine.Job{
+		Name:   "propagation-iteration",
+		Stages: []*engine.Stage{{Name: "transfer", Tasks: transfer}, {Name: "combine", Tasks: combine}},
+	}
+}

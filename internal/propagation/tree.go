@@ -1,0 +1,265 @@
+package propagation
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// Tree aggregation is an extension beyond the paper's per-partition local
+// combination: the multi-level data reduction along the switch tree that
+// §2 credits to cloud systems like MapReduce and DryadLINQ [5, 23].
+//
+// With local combination, every partition ships one merged value per
+// remote destination vertex — but when several partitions of one pod all
+// send values for the same destination into another pod, the same vertex's
+// data crosses the oversubscribed top-level switch several times. Tree
+// aggregation inserts an Aggregate stage: cross-pod values first converge
+// inside the sending pod over cheap intra-pod links, are merged per
+// destination vertex, and only one value per (pod, destination) crosses
+// the tree. To keep the pod's full egress bandwidth, the aggregation work
+// is spread over the pod's machines by destination partition rather than
+// funneled through a single aggregator. Combine's associativity makes the
+// results identical; only traffic moves.
+
+// aggKey identifies one aggregation task: the sending pod and the
+// destination partition its traffic heads to.
+type aggKey struct {
+	pod     int
+	dstPart int
+}
+
+// IterateTree runs one propagation iteration with tree aggregation. It
+// requires an associative program and applies local propagation and local
+// combination unconditionally (the stage exists to squeeze the remaining
+// cross-pod traffic; running it without the cheaper optimizations would be
+// pointless).
+func IterateTree[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) (*State[V], engine.Metrics, error) {
+	if !prog.Associative() {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: tree aggregation requires an associative program")
+	}
+	if len(st.Values) != pg.G.NumVertices() {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: state has %d values, graph has %d vertices", len(st.Values), pg.G.NumVertices())
+	}
+	if pl.NumPartitions() != pg.Part.P {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
+	}
+	opt.LocalPropagation = true
+	opt.LocalCombination = true
+	topo := r.Topology()
+	partPod := func(p int) int { return topo.Pod(pl.MachineOf[p]) }
+
+	ex := newExecution(pg, pl, prog, st, opt)
+	// Intercept cross-pod values after local combination: group them per
+	// (sending pod, destination vertex) for the Aggregate stage and track
+	// the partition -> aggregator intra-pod traffic per aggregation task.
+	type podDst struct {
+		pod int
+		dst graph.VertexID
+	}
+	podVals := make(map[podDst][]V)
+	toAggBytes := make([]map[aggKey]int64, pg.Part.P)
+	for i := range toAggBytes {
+		toAggBytes[i] = make(map[aggKey]int64)
+	}
+	ex.crossHook = func(srcPart int, dst graph.VertexID, v V) bool {
+		dstPart := int(ex.partOf(dst))
+		if partPod(srcPart) == partPod(dstPart) {
+			return false // same pod: no top-level switch crossed
+		}
+		k := podDst{pod: partPod(srcPart), dst: dst}
+		podVals[k] = append(podVals[k], v)
+		toAggBytes[srcPart][aggKey{pod: k.pod, dstPart: dstPart}] += ex.prog.Bytes(v)
+		return true
+	}
+	ex.transferAll()
+
+	// Merge per (pod, destination vertex); account per aggregation task.
+	aggOutBytes := make(map[aggKey]int64)
+	aggInValues := make(map[aggKey]int64)
+	keys := make([]podDst, 0, len(podVals))
+	for k := range podVals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pod != keys[j].pod {
+			return keys[i].pod < keys[j].pod
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	for _, k := range keys {
+		vals := podVals[k]
+		merged := vals[0]
+		if len(vals) > 1 {
+			merged = ex.prog.Merge(k.dst, vals)
+		}
+		ex.appendBag(k.dst, merged)
+		ak := aggKey{pod: k.pod, dstPart: int(ex.partOf(k.dst))}
+		aggOutBytes[ak] += ex.prog.Bytes(merged)
+		aggInValues[ak] += int64(len(vals))
+	}
+	next := ex.combineAll()
+
+	m, err := r.Run(ex.buildTreeJob(topo, toAggBytes, aggOutBytes, aggInValues))
+	if err != nil {
+		return nil, engine.Metrics{}, err
+	}
+	return next, m, nil
+}
+
+// buildTreeJob assembles the three-stage job: Transfer -> Aggregate/Relay
+// -> Combine.
+func (ex *execution[V]) buildTreeJob(topo *cluster.Topology, toAggBytes []map[aggKey]int64, aggOutBytes, aggInValues map[aggKey]int64) *engine.Job {
+	p := ex.pg.Part.P
+	costs := ex.opt.costs()
+	podMachines := machinesByPod(topo)
+
+	// Stage 2 layout: first P relay tasks forward direct (same-pod)
+	// traffic to their combine tasks, then one aggregation task per
+	// (pod, dstPart) pair with traffic, spread over the pod's machines by
+	// destination partition so the pod's full egress stays usable.
+	stage2 := make([]*engine.Task, p, p+len(aggOutBytes))
+	for q := 0; q < p; q++ {
+		stage2[q] = &engine.Task{
+			Name:    fmt.Sprintf("relay-p%d", q),
+			Kind:    engine.KindCombine,
+			Part:    partition.PartID(q),
+			Machine: ex.pl.MachineOf[q],
+		}
+	}
+	aggKeys := make([]aggKey, 0, len(aggOutBytes))
+	for k := range aggOutBytes {
+		aggKeys = append(aggKeys, k)
+	}
+	sort.Slice(aggKeys, func(i, j int) bool {
+		if aggKeys[i].pod != aggKeys[j].pod {
+			return aggKeys[i].pod < aggKeys[j].pod
+		}
+		return aggKeys[i].dstPart < aggKeys[j].dstPart
+	})
+	aggTaskIdx := make(map[aggKey]int, len(aggKeys))
+	for _, k := range aggKeys {
+		ms := podMachines[k.pod]
+		aggTaskIdx[k] = len(stage2)
+		stage2 = append(stage2, &engine.Task{
+			Name:    fmt.Sprintf("aggregate-pod%d-to-p%d", k.pod, k.dstPart),
+			Kind:    engine.KindCombine,
+			Part:    engine.NoPart,
+			Machine: ms[k.dstPart%len(ms)],
+			Compute: costs.ComputePerValue * float64(aggInValues[k]),
+			Outputs: []engine.Output{{DstTask: k.dstPart, Bytes: aggOutBytes[k]}},
+		})
+	}
+
+	// Direct inbound bytes per partition (relay forwarding) and total
+	// combine-side arrivals.
+	directIn := make([]int64, p)
+	for _, by := range ex.remoteBytes {
+		for q, b := range by {
+			directIn[q] += b
+		}
+	}
+	received := make([]int64, p)
+	copy(received, directIn)
+	for k, b := range aggOutBytes {
+		received[k.dstPart] += b
+	}
+	for q := 0; q < p; q++ {
+		if directIn[q] > 0 {
+			stage2[q].Outputs = []engine.Output{{DstTask: q, Bytes: directIn[q]}}
+		}
+	}
+
+	transfer := make([]*engine.Task, p)
+	combine := make([]*engine.Task, p)
+	for i := 0; i < p; i++ {
+		pi := ex.pg.Parts[i]
+		m := ex.pl.MachineOf[i]
+		var edges int64
+		for _, v := range pi.Vertices {
+			edges += int64(ex.pg.G.OutDegree(v))
+		}
+		var outs []engine.Output
+		qs := make([]int, 0, len(ex.remoteBytes[i]))
+		for q := range ex.remoteBytes[i] {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			if b := ex.remoteBytes[i][q]; b > 0 {
+				outs = append(outs, engine.Output{DstTask: q, Bytes: b})
+			}
+		}
+		aks := make([]aggKey, 0, len(toAggBytes[i]))
+		for k := range toAggBytes[i] {
+			aks = append(aks, k)
+		}
+		sort.Slice(aks, func(a, b int) bool {
+			if aks[a].pod != aks[b].pod {
+				return aks[a].pod < aks[b].pod
+			}
+			return aks[a].dstPart < aks[b].dstPart
+		})
+		for _, k := range aks {
+			if b := toAggBytes[i][k]; b > 0 {
+				outs = append(outs, engine.Output{DstTask: aggTaskIdx[k], Bytes: b})
+			}
+		}
+		transfer[i] = &engine.Task{
+			Name:      fmt.Sprintf("transfer-p%d", i),
+			Kind:      engine.KindTransfer,
+			Part:      partition.PartID(i),
+			Machine:   m,
+			Compute:   costs.ComputePerEdge * float64(edges),
+			DiskRead:  pi.Bytes + ex.stateRead[i],
+			DiskWrite: ex.localBytes[i],
+			Outputs:   outs,
+		}
+		combine[i] = &engine.Task{
+			Name:      fmt.Sprintf("combine-p%d", i),
+			Kind:      engine.KindCombine,
+			Part:      partition.PartID(i),
+			Machine:   m,
+			Compute:   costs.ComputePerValue * float64(ex.combineCount[i]),
+			DiskRead:  ex.localBytes[i] + received[i],
+			DiskWrite: ex.stateWrite[i],
+		}
+	}
+	return &engine.Job{
+		Name: "propagation-tree-iteration",
+		Stages: []*engine.Stage{
+			{Name: "transfer", Tasks: transfer},
+			{Name: "aggregate", Tasks: stage2},
+			{Name: "combine", Tasks: combine},
+		},
+	}
+}
+
+// machinesByPod lists each pod's machines in ID order.
+func machinesByPod(topo *cluster.Topology) map[int][]cluster.MachineID {
+	out := make(map[int][]cluster.MachineID)
+	for i := 0; i < topo.NumMachines(); i++ {
+		m := cluster.MachineID(i)
+		out[topo.Pod(m)] = append(out[topo.Pod(m)], m)
+	}
+	return out
+}
+
+// RunIterationsTree is RunIterations with tree aggregation.
+func RunIterationsTree[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, iters int) (*State[V], engine.Metrics, error) {
+	var total engine.Metrics
+	for i := 0; i < iters; i++ {
+		next, m, err := IterateTree(r, pg, pl, prog, st, opt)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Add(m)
+		st = next
+	}
+	return st, total, nil
+}

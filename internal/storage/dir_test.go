@@ -1,0 +1,82 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestSaveLoadDirRoundTrip(t *testing.T) {
+	g := graph.Social(graph.DefaultSocial(1200, 4))
+	pg := buildPG(t, g, 3, 4)
+	dir := filepath.Join(t.TempDir(), "parts")
+	if err := pg.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.G.Equal(pg.G) {
+		t.Fatal("graph changed through save/load")
+	}
+	if loaded.Part.P != pg.Part.P {
+		t.Fatalf("P = %d, want %d", loaded.Part.P, pg.Part.P)
+	}
+	for v := range pg.Part.Assign {
+		if loaded.Part.Assign[v] != pg.Part.Assign[v] {
+			t.Fatalf("assignment changed at %d", v)
+		}
+	}
+	// Metadata is recomputed, so cross/inner counts must match.
+	for p := range pg.Parts {
+		if loaded.Parts[p].InnerEdges != pg.Parts[p].InnerEdges ||
+			loaded.Parts[p].CrossOut != pg.Parts[p].CrossOut {
+			t.Fatalf("partition %d metadata mismatch", p)
+		}
+	}
+}
+
+func TestLoadDirMissing(t *testing.T) {
+	if _, err := LoadDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestLoadDirRejectsCorruptManifest(t *testing.T) {
+	g := graph.Ring(32)
+	pg := buildPG(t, g, 2, 1)
+	dir := filepath.Join(t.TempDir(), "parts")
+	if err := pg.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF // break magic
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("expected bad-magic error")
+	}
+}
+
+func TestLoadDirRejectsMissingPartition(t *testing.T) {
+	g := graph.Ring(32)
+	pg := buildPG(t, g, 2, 2)
+	dir := filepath.Join(t.TempDir(), "parts")
+	if err := pg.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, partFileName(1))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDir(dir); err == nil {
+		t.Fatal("expected error for missing partition file")
+	}
+}

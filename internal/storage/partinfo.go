@@ -1,0 +1,210 @@
+// Package storage materializes a partitioned data graph the way Surfer
+// stores it on slave machines (§3, §5.1): each partition keeps its vertices'
+// adjacency lists plus two locality structures generated at partitioning
+// time — a hash table of the partition's boundary vertices and a map from
+// the destination vertex of each outgoing cross-partition edge to the remote
+// partition that owns it. Partitions are placed on machines by a
+// partition.Placement and replicated three ways like GFS.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// CrossStats summarizes the outgoing cross-partition edges from one
+// partition to one remote partition.
+type CrossStats struct {
+	// Edges is the number of cross-partition edges to that remote.
+	Edges int64
+	// DistinctDst is the number of distinct destination vertices among
+	// them. Local combination (§5.1) shrinks the transfer from Edges
+	// values to DistinctDst values when the combiner is associative.
+	DistinctDst int64
+}
+
+// PartInfo is the per-partition locality metadata Surfer keeps in memory
+// while processing the partition.
+type PartInfo struct {
+	ID partition.PartID
+	// Vertices lists the partition's vertices in increasing ID order.
+	Vertices []graph.VertexID
+	// Boundary is the hash table of boundary vertices: members of this
+	// partition touching at least one cross-partition edge (either
+	// direction).
+	Boundary map[graph.VertexID]struct{}
+	// InBoundary is the subset of members with at least one *incoming*
+	// cross-partition edge. Local propagation fuses transfer+combine for
+	// a destination vertex exactly when all its inputs originate inside
+	// the partition, i.e. when it is not in InBoundary — a refinement of
+	// the paper's conservative both-direction inner-vertex definition.
+	InBoundary map[graph.VertexID]struct{}
+	// CrossDst maps the destination vertex of every outgoing
+	// cross-partition edge to the remote partition owning it — the (v,
+	// pid) map of §5.1.
+	CrossDst map[graph.VertexID]partition.PartID
+	// OutPerPart aggregates outgoing cross-edge statistics per remote
+	// partition; InPerPart counts incoming cross edges per remote.
+	OutPerPart map[partition.PartID]*CrossStats
+	InPerPart  map[partition.PartID]int64
+	// InnerEdges counts edges with both endpoints in this partition;
+	// CrossOut / CrossIn count cross-partition edges leaving / entering.
+	InnerEdges int64
+	CrossOut   int64
+	CrossIn    int64
+	// InnerVertices counts vertices with no cross-partition edge at all.
+	InnerVertices int64
+	// Bytes is the serialized size of the partition's adjacency lists,
+	// the unit the engine charges for disk scans.
+	Bytes int64
+}
+
+// NumVertices reports the number of vertices in the partition.
+func (pi *PartInfo) NumVertices() int { return len(pi.Vertices) }
+
+// IsBoundary reports whether v (a member of this partition) is a boundary
+// vertex.
+func (pi *PartInfo) IsBoundary(v graph.VertexID) bool {
+	_, ok := pi.Boundary[v]
+	return ok
+}
+
+// HasCrossInEdge reports whether v receives any cross-partition edge; if
+// not, v's combine input is entirely local and local propagation can fuse
+// it in memory.
+func (pi *PartInfo) HasCrossInEdge(v graph.VertexID) bool {
+	_, ok := pi.InBoundary[v]
+	return ok
+}
+
+// InnerVertexRatio is the fraction of the partition's vertices that are
+// inner — the quantity that determines how much local propagation helps
+// (§5.1).
+func (pi *PartInfo) InnerVertexRatio() float64 {
+	if len(pi.Vertices) == 0 {
+		return 1
+	}
+	return float64(pi.InnerVertices) / float64(len(pi.Vertices))
+}
+
+// PartitionedGraph bundles a data graph with its partitioning and the
+// per-partition metadata.
+type PartitionedGraph struct {
+	G     *graph.Graph
+	Part  *partition.Partitioning
+	Parts []*PartInfo
+}
+
+// Build computes all per-partition metadata for a partitioned graph in two
+// passes over the edges.
+func Build(g *graph.Graph, pt *partition.Partitioning) (*PartitionedGraph, error) {
+	if g.NumVertices() != len(pt.Assign) {
+		return nil, fmt.Errorf("storage: partitioning covers %d vertices, graph has %d", len(pt.Assign), g.NumVertices())
+	}
+	if err := pt.Validate(); err != nil {
+		return nil, err
+	}
+	pg := &PartitionedGraph{G: g, Part: pt, Parts: make([]*PartInfo, pt.P)}
+	for p := 0; p < pt.P; p++ {
+		pg.Parts[p] = &PartInfo{
+			ID:         partition.PartID(p),
+			Boundary:   make(map[graph.VertexID]struct{}),
+			InBoundary: make(map[graph.VertexID]struct{}),
+			CrossDst:   make(map[graph.VertexID]partition.PartID),
+			OutPerPart: make(map[partition.PartID]*CrossStats),
+			InPerPart:  make(map[partition.PartID]int64),
+		}
+	}
+	for v, p := range pt.Assign {
+		pi := pg.Parts[p]
+		pi.Vertices = append(pi.Vertices, graph.VertexID(v))
+	}
+	// Distinct-destination tracking per (srcPart, dst).
+	seenDst := make([]map[graph.VertexID]struct{}, pt.P)
+	for p := range seenDst {
+		seenDst[p] = make(map[graph.VertexID]struct{})
+	}
+	g.ForEachEdge(func(u, v graph.VertexID) bool {
+		pu, pv := pt.Assign[u], pt.Assign[v]
+		src, dst := pg.Parts[pu], pg.Parts[pv]
+		if pu == pv {
+			src.InnerEdges++
+			return true
+		}
+		src.CrossOut++
+		dst.CrossIn++
+		src.Boundary[u] = struct{}{}
+		dst.Boundary[v] = struct{}{}
+		dst.InBoundary[v] = struct{}{}
+		src.CrossDst[v] = pv
+		st := src.OutPerPart[pv]
+		if st == nil {
+			st = &CrossStats{}
+			src.OutPerPart[pv] = st
+		}
+		st.Edges++
+		if _, ok := seenDst[pu][v]; !ok {
+			seenDst[pu][v] = struct{}{}
+			st.DistinctDst++
+		}
+		dst.InPerPart[pu]++
+		return true
+	})
+	for _, pi := range pg.Parts {
+		pi.InnerVertices = int64(len(pi.Vertices) - len(pi.Boundary))
+		var edges int64
+		for _, v := range pi.Vertices {
+			edges += int64(g.OutDegree(v))
+		}
+		pi.Bytes = int64(len(pi.Vertices))*8 + edges*4
+	}
+	return pg, nil
+}
+
+// TotalCrossEdges sums outgoing cross-partition edges over all partitions.
+func (pg *PartitionedGraph) TotalCrossEdges() int64 {
+	var c int64
+	for _, pi := range pg.Parts {
+		c += pi.CrossOut
+	}
+	return c
+}
+
+// Bytes sums the serialized sizes of all partitions.
+func (pg *PartitionedGraph) Bytes() int64 {
+	var b int64
+	for _, pi := range pg.Parts {
+		b += pi.Bytes
+	}
+	return b
+}
+
+// Validate cross-checks the metadata invariants: vertex cover, symmetric
+// cross-edge counts, boundary consistency.
+func (pg *PartitionedGraph) Validate() error {
+	total := 0
+	for _, pi := range pg.Parts {
+		total += len(pi.Vertices)
+	}
+	if total != pg.G.NumVertices() {
+		return fmt.Errorf("storage: partitions cover %d of %d vertices", total, pg.G.NumVertices())
+	}
+	var outSum, inSum int64
+	for _, pi := range pg.Parts {
+		outSum += pi.CrossOut
+		inSum += pi.CrossIn
+	}
+	if outSum != inSum {
+		return fmt.Errorf("storage: cross-out %d != cross-in %d", outSum, inSum)
+	}
+	var inner int64
+	for _, pi := range pg.Parts {
+		inner += pi.InnerEdges
+	}
+	if inner+outSum != pg.G.NumEdges() {
+		return fmt.Errorf("storage: inner %d + cross %d != |E| %d", inner, outSum, pg.G.NumEdges())
+	}
+	return nil
+}

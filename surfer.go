@@ -1,0 +1,265 @@
+// Package surfer is a Go reproduction of Surfer, the large-graph processing
+// engine for the cloud described in "On the Efficiency and Programmability
+// of Large Graph Processing in the Cloud" (Chen, Weng, He, Yang, Choi, Li;
+// demo version in SIGMOD 2010 as "Large graph processing in the cloud").
+//
+// Surfer stores a graph as partitions produced by a bandwidth-aware
+// multi-level partitioning algorithm, places them on the machines of an
+// uneven cloud network so cross-partition traffic follows high-bandwidth
+// links, and executes two programming primitives on top:
+//
+//   - propagation — the paper's contribution: per-edge transfer and
+//     per-vertex combine functions with automatic locality optimizations
+//     (local propagation, local combination, cascaded multi-iteration
+//     execution);
+//   - MapReduce — the partition-aware map / hash-shuffled reduce baseline.
+//
+// The cluster is simulated: machines, pods, NICs, disks and failures follow
+// the paper's topologies (T1, T2(#pod,#level), T3) with a virtual clock, so
+// every experiment runs deterministically on one host while byte counters
+// remain exact. See DESIGN.md for the system inventory and EXPERIMENTS.md
+// for the paper-vs-measured results.
+//
+// # Quick start
+//
+//	g := surfer.Social(surfer.DefaultSocial(1<<16, 42))
+//	topo := surfer.NewT2(surfer.T2Config{Machines: 32, Pods: 2, Levels: 1})
+//	sys, err := surfer.Build(surfer.Config{
+//		Graph: g, Topology: topo, Levels: 6, Seed: 42,
+//	})
+//	// define a propagation program and run it:
+//	st, metrics, err := surfer.RunPropagation(sys, sys.NewRunner(), prog, 3,
+//		surfer.PropagationOptions{LocalPropagation: true, LocalCombination: true})
+package surfer
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mapreduce"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/scheduler"
+	"repro/internal/storage"
+)
+
+// ---------------------------------------------------------------- graphs
+
+// Graph is an immutable directed graph in adjacency-list (CSR) form.
+type Graph = graph.Graph
+
+// VertexID identifies a vertex; IDs are dense in [0, NumVertices).
+type VertexID = graph.VertexID
+
+// Builder accumulates edges and produces a Graph.
+type Builder = graph.Builder
+
+// NewBuilder creates a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a deduplicated graph from an edge list.
+func FromEdges(n int, edges [][2]VertexID) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadGraph reads a graph from a file in the Surfer binary format.
+func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+
+// LoadEdgeList reads a graph from a SNAP-style "src dst" text file.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// Generator configurations and constructors.
+type (
+	// RMATConfig parameterizes the power-law R-MAT generator.
+	RMATConfig = graph.RMATConfig
+	// SmallWorldConfig parameterizes the paper's stitched small-world
+	// generator (§F.1).
+	SmallWorldConfig = graph.SmallWorldConfig
+	// SocialConfig parameterizes the hybrid community+hub generator used
+	// as the MSN-snapshot stand-in.
+	SocialConfig = graph.SocialConfig
+)
+
+// DefaultRMAT returns classic skewed R-MAT parameters.
+func DefaultRMAT(scale, edgeFactor int, seed int64) RMATConfig {
+	return graph.DefaultRMAT(scale, edgeFactor, seed)
+}
+
+// RMAT generates a power-law directed graph.
+func RMAT(cfg RMATConfig) *Graph { return graph.RMAT(cfg) }
+
+// DefaultSmallWorld returns the paper-flavored stitched small-world config.
+func DefaultSmallWorld(n int, seed int64) SmallWorldConfig {
+	return graph.DefaultSmallWorld(n, seed)
+}
+
+// SmallWorld generates the stitched small-world graph of §F.1.
+func SmallWorld(cfg SmallWorldConfig) *Graph { return graph.SmallWorld(cfg) }
+
+// DefaultSocial returns the hybrid social-graph configuration.
+func DefaultSocial(n int, seed int64) SocialConfig { return graph.DefaultSocial(n, seed) }
+
+// Social generates the hybrid social graph (communities + hubs).
+func Social(cfg SocialConfig) *Graph { return graph.Social(cfg) }
+
+// --------------------------------------------------------------- cluster
+
+// Topology models the simulated cloud network (§2, §6.1).
+type Topology = cluster.Topology
+
+// MachineID identifies a machine in a topology.
+type MachineID = cluster.MachineID
+
+// T2Config parameterizes the tree topology T2(#pod, #level).
+type T2Config = cluster.T2Config
+
+// NewT1 builds the flat, even-bandwidth cluster T1.
+func NewT1(machines int) *Topology { return cluster.NewT1(machines) }
+
+// NewT2 builds a switch-tree topology T2.
+func NewT2(cfg T2Config) *Topology { return cluster.NewT2(cfg) }
+
+// NewT3 builds the heterogeneous cluster T3 (half the NICs at half rate).
+func NewT3(machines int, seed int64) *Topology { return cluster.NewT3(machines, seed) }
+
+// ---------------------------------------------------------------- system
+
+// Config describes a Surfer deployment (graph, topology, partitioning).
+type Config = core.Config
+
+// System is an assembled deployment: partitioned, placed and replicated.
+type System = core.System
+
+// PartitionStrategy selects the partitioning and placement algorithm.
+type PartitionStrategy = core.PartitionStrategy
+
+// Partitioning strategies.
+const (
+	// StrategyBandwidthAware is the paper's Algorithm 4 (default).
+	StrategyBandwidthAware = core.StrategyBandwidthAware
+	// StrategyParMetis uses the same bisection kernel with
+	// bandwidth-oblivious placement.
+	StrategyParMetis = core.StrategyParMetis
+	// StrategyRandom assigns vertices to partitions at random.
+	StrategyRandom = core.StrategyRandom
+)
+
+// Build partitions and places the configured graph.
+func Build(cfg Config) (*System, error) { return core.Build(cfg) }
+
+// Runner executes jobs on the simulated cluster in virtual time.
+type Runner = engine.Runner
+
+// Metrics aggregates response time, total machine time, network I/O and
+// disk I/O of a run.
+type Metrics = engine.Metrics
+
+// Failure schedules a machine death for fault-tolerance experiments.
+type Failure = engine.Failure
+
+// ----------------------------------------------------------- propagation
+
+// Program is a propagation application: transfer and combine user-defined
+// functions (§3.2).
+type Program[V any] = propagation.Program[V]
+
+// Emit delivers a value to a destination vertex during transfer.
+type Emit[V any] = propagation.Emit[V]
+
+// State carries per-vertex values between propagation iterations.
+type State[V any] = propagation.State[V]
+
+// PropagationOptions selects the automatic optimizations of §5.
+type PropagationOptions = propagation.Options
+
+// NonAssociative is a mixin for programs whose combine cannot be applied
+// partially (disables local combination).
+type NonAssociative[V any] = propagation.NonAssociative[V]
+
+// CascadeInfo reports the V_k structure used by cascaded propagation.
+type CascadeInfo = propagation.CascadeInfo
+
+// RunPropagation executes a propagation program for iters iterations on a
+// fresh state.
+func RunPropagation[V any](sys *System, r *Runner, prog Program[V], iters int, opt PropagationOptions) (*State[V], Metrics, error) {
+	return core.RunPropagation(sys, r, prog, iters, opt)
+}
+
+// RunCascaded is RunPropagation with the cascaded multi-iteration
+// optimization (§5.2).
+func RunCascaded[V any](sys *System, r *Runner, prog Program[V], iters int, opt PropagationOptions) (*State[V], Metrics, error) {
+	return core.RunCascaded(sys, r, prog, iters, opt)
+}
+
+// RunPropagationTree is RunPropagation with tree aggregation (an extension
+// of local combination): cross-pod values merge inside the sending pod
+// before crossing the oversubscribed top-level switch. Requires an
+// associative program; pays off when spread placement or heavy workloads
+// push a lot of duplicate-destination traffic across pods.
+func RunPropagationTree[V any](sys *System, r *Runner, prog Program[V], iters int, opt PropagationOptions) (*State[V], Metrics, error) {
+	st := propagation.NewState[V](sys.PG, prog)
+	return propagation.RunIterationsTree(r, sys.PG, sys.Placement, prog, st, opt, iters)
+}
+
+// AnalyzeCascade computes the cascade depths (V_k membership) of a built
+// system's partitions.
+func AnalyzeCascade(sys *System) *CascadeInfo { return propagation.AnalyzeCascade(sys.PG) }
+
+// ------------------------------------------------------------- mapreduce
+
+// MRProgram is a MapReduce application on the partitioned graph (§3.1).
+type MRProgram[K MRKey, V any, R any] = mapreduce.Program[K, V, R]
+
+// MRKey constrains MapReduce keys to integer-like types.
+type MRKey = mapreduce.Key
+
+// MROptions configures a MapReduce execution.
+type MROptions = mapreduce.Options
+
+// PartInfo is the per-partition locality metadata visible to Map functions.
+type PartInfo = storage.PartInfo
+
+// RunMapReduce executes a MapReduce program once.
+func RunMapReduce[K MRKey, V any, R any](sys *System, r *Runner, prog MRProgram[K, V, R], opt MROptions) (map[K]R, Metrics, error) {
+	return core.RunMapReduce(sys, r, prog, opt)
+}
+
+// ------------------------------------------------------------- scheduler
+
+// Scheduler is the job scheduler of Figure 1: cluster membership, job
+// manager election, and FIFO or fair ordering of submitted jobs.
+type Scheduler = scheduler.Scheduler
+
+// SchedulerConfig configures a Scheduler.
+type SchedulerConfig = scheduler.Config
+
+// JobRequest is a job submission; JobRecord the account of its execution.
+type (
+	JobRequest = scheduler.Request
+	JobRecord  = scheduler.Record
+)
+
+// Scheduling policies.
+const (
+	// ScheduleFIFO runs jobs in submission order.
+	ScheduleFIFO = scheduler.FIFO
+	// ScheduleFair runs the least-served user's job first.
+	ScheduleFair = scheduler.Fair
+)
+
+// NewScheduler creates a job scheduler over a system's cluster.
+func NewScheduler(sys *System, policy scheduler.Policy) *Scheduler {
+	return scheduler.New(scheduler.Config{
+		Topo:     sys.Topology,
+		Replicas: sys.Replicas,
+		Policy:   policy,
+	})
+}
+
+// ----------------------------------------------------------- diagnostics
+
+// PartitionCostModel is the elapsed-time model for distributed partitioning
+// (Table 1).
+type PartitionCostModel = partition.CostModel
+
+// DefaultPartitionCostModel returns the calibrated Table 1 constants.
+func DefaultPartitionCostModel() PartitionCostModel { return partition.DefaultCostModel() }

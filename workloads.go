@@ -1,0 +1,115 @@
+package surfer
+
+// Prebuilt workloads: the paper's six benchmark applications (Appendix D)
+// plus connected components, exposed through the public API so downstream
+// users can run them on their own graphs without re-implementing the
+// user-defined functions.
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+)
+
+// Workload names accepted by RunWorkload.
+const (
+	WorkloadVDD  = "VDD"  // vertex degree distribution
+	WorkloadRS   = "RS"   // recommender system simulation
+	WorkloadNR   = "NR"   // network ranking (PageRank)
+	WorkloadRLG  = "RLG"  // reverse link graph
+	WorkloadTC   = "TC"   // triangle counting on a 10% sample
+	WorkloadTFL  = "TFL"  // two-hop friend lists on a 10% sample
+	WorkloadCC   = "CC"   // weakly connected components (extension)
+	WorkloadSSSP = "SSSP" // single-source shortest hop distances (extension)
+)
+
+// WorkloadNames lists the available prebuilt workloads.
+func WorkloadNames() []string {
+	return []string{WorkloadVDD, WorkloadRS, WorkloadNR, WorkloadRLG, WorkloadTC, WorkloadTFL, WorkloadCC, WorkloadSSSP}
+}
+
+func workloadByName(name string, iterations int) (apps.App, error) {
+	if iterations <= 0 {
+		iterations = 3
+	}
+	switch name {
+	case WorkloadVDD:
+		return apps.NewVDD(), nil
+	case WorkloadRS:
+		cfg := apps.DefaultRSConfig()
+		cfg.Iterations = iterations
+		return apps.NewRS(cfg), nil
+	case WorkloadNR:
+		return apps.NewNR(iterations), nil
+	case WorkloadRLG:
+		return apps.NewRLG(), nil
+	case WorkloadTC:
+		return apps.NewTC(apps.DefaultSelectRatio), nil
+	case WorkloadTFL:
+		return apps.NewTFL(apps.DefaultSelectRatio), nil
+	case WorkloadCC:
+		return apps.NewCC(iterations * 10), nil
+	case WorkloadSSSP:
+		return apps.NewSSSP(0, iterations*10), nil
+	default:
+		return nil, fmt.Errorf("surfer: unknown workload %q (want one of %v)", name, WorkloadNames())
+	}
+}
+
+// RunWorkload executes a prebuilt workload under the propagation primitive
+// and returns its result:
+//
+//	VDD -> map[int]int64 (degree histogram)
+//	RS  -> []uint8 (adoption flags)
+//	NR  -> []float64 (PageRank vector)
+//	RLG -> [][]VertexID (reversed adjacency lists)
+//	TC  -> int64 (triangle count)
+//	TFL  -> [][]VertexID (two-hop lists)
+//	CC   -> []uint32 (component labels)
+//	SSSP -> []int32 (hop distances from vertex 0; apps.Unreachable if none)
+func RunWorkload(sys *System, r *Runner, name string, iterations int, opt PropagationOptions) (any, Metrics, error) {
+	app, err := workloadByName(name, iterations)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return app.RunPropagation(r, sys.PG, sys.Placement, opt)
+}
+
+// RunWorkloadMapReduce executes a prebuilt workload under the MapReduce
+// primitive; result types match RunWorkload.
+func RunWorkloadMapReduce(sys *System, r *Runner, name string, iterations int) (any, Metrics, error) {
+	app, err := workloadByName(name, iterations)
+	if err != nil {
+		return nil, Metrics{}, err
+	}
+	return app.RunMapReduce(r, sys.PG, sys.Placement)
+}
+
+// PageRank runs the NR workload and returns the rank vector.
+func PageRank(sys *System, r *Runner, iterations int, opt PropagationOptions) ([]float64, Metrics, error) {
+	res, m, err := RunWorkload(sys, r, WorkloadNR, iterations, opt)
+	if err != nil {
+		return nil, m, err
+	}
+	return res.([]float64), m, nil
+}
+
+// ConnectedComponents runs the CC workload and returns per-vertex component
+// labels (the minimum vertex ID of each weak component).
+func ConnectedComponents(sys *System, r *Runner, opt PropagationOptions) ([]uint32, Metrics, error) {
+	res, m, err := RunWorkload(sys, r, WorkloadCC, 0, opt)
+	if err != nil {
+		return nil, m, err
+	}
+	return res.([]uint32), m, nil
+}
+
+// DegreeDistribution runs the VDD workload and returns the out-degree
+// histogram.
+func DegreeDistribution(sys *System, r *Runner, opt PropagationOptions) (map[int]int64, Metrics, error) {
+	res, m, err := RunWorkload(sys, r, WorkloadVDD, 1, opt)
+	if err != nil {
+		return nil, m, err
+	}
+	return res.(map[int]int64), m, nil
+}

@@ -1,0 +1,116 @@
+package surfer
+
+import "testing"
+
+func TestRunWorkloadAll(t *testing.T) {
+	sys := buildTestSystem(t)
+	opt := PropagationOptions{LocalPropagation: true, LocalCombination: true}
+	for _, name := range WorkloadNames() {
+		res, m, err := RunWorkload(sys, sys.NewRunner(), name, 2, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res == nil {
+			t.Fatalf("%s: nil result", name)
+		}
+		if m.ResponseSeconds <= 0 {
+			t.Fatalf("%s: no time elapsed", name)
+		}
+	}
+}
+
+func TestRunWorkloadUnknown(t *testing.T) {
+	sys := buildTestSystem(t)
+	if _, _, err := RunWorkload(sys, sys.NewRunner(), "NOPE", 1, PropagationOptions{}); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if _, _, err := RunWorkloadMapReduce(sys, sys.NewRunner(), "NOPE", 1); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+}
+
+func TestPageRankHelper(t *testing.T) {
+	sys := buildTestSystem(t)
+	ranks, _, err := PageRank(sys, sys.NewRunner(), 3, PropagationOptions{LocalPropagation: true, LocalCombination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranks) != sys.Graph.NumVertices() {
+		t.Fatalf("ranks = %d entries", len(ranks))
+	}
+	sum := 0.0
+	for _, r := range ranks {
+		sum += r
+	}
+	if sum < 0.5 || sum > 1.0+1e-9 {
+		t.Fatalf("rank sum = %g", sum)
+	}
+}
+
+func TestConnectedComponentsHelper(t *testing.T) {
+	sys := buildTestSystem(t)
+	labels, _, err := ConnectedComponents(sys, sys.NewRunner(), PropagationOptions{LocalCombination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every label must name a vertex in the same component: spot-check
+	// that labels are at most the vertex ID (labels are minima).
+	for v, l := range labels {
+		if int(l) > v {
+			t.Fatalf("label[%d] = %d exceeds vertex ID", v, l)
+		}
+	}
+}
+
+func TestDegreeDistributionHelper(t *testing.T) {
+	sys := buildTestSystem(t)
+	hist, _, err := DegreeDistribution(sys, sys.NewRunner(), PropagationOptions{LocalCombination: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range hist {
+		total += c
+	}
+	if total != int64(sys.Graph.NumVertices()) {
+		t.Fatalf("histogram total = %d, want %d", total, sys.Graph.NumVertices())
+	}
+}
+
+func TestWorkloadMapReduceAgreesWithPropagation(t *testing.T) {
+	sys := buildTestSystem(t)
+	opt := PropagationOptions{LocalPropagation: true, LocalCombination: true}
+	for _, name := range []string{WorkloadVDD, WorkloadNR, WorkloadCC} {
+		p, _, err := RunWorkload(sys, sys.NewRunner(), name, 3, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _, err := RunWorkloadMapReduce(sys, sys.NewRunner(), name, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch name {
+		case WorkloadVDD:
+			ph, mh := p.(map[int]int64), m.(map[int]int64)
+			for k, v := range ph {
+				if mh[k] != v {
+					t.Fatalf("VDD mismatch at degree %d", k)
+				}
+			}
+		case WorkloadNR:
+			pr, mr := p.([]float64), m.([]float64)
+			for v := range pr {
+				if diff := pr[v] - mr[v]; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("NR mismatch at %d", v)
+				}
+			}
+		case WorkloadCC:
+			pl, ml := p.([]uint32), m.([]uint32)
+			for v := range pl {
+				if pl[v] != ml[v] {
+					t.Fatalf("CC mismatch at %d", v)
+				}
+			}
+		}
+	}
+}
