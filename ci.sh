@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet, build, and run the full test suite under the race detector.
+# The parallel executor's determinism tests (quick_test.go, parallel_test.go,
+# faulttolerance_test.go) run with worker pools > 1 here, so -race exercises
+# the concurrent Transfer/Combine/Map/Reduce paths for real data races.
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -23,17 +23,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surfer-bench: ")
 	var (
-		experiment = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|all")
-		vertices   = flag.Int("vertices", 1<<16, "synthetic graph vertices")
-		machines   = flag.Int("machines", 32, "machines in the simulated cluster")
-		levels     = flag.Int("levels", 6, "log2 of partition count")
-		seed       = flag.Int64("seed", 42, "random seed")
-		iterations = flag.Int("iterations", 3, "iterations for the cascade study")
-		appsDir    = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
+		experiment  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|parallel|all")
+		vertices    = flag.Int("vertices", 1<<16, "synthetic graph vertices")
+		machines    = flag.Int("machines", 32, "machines in the simulated cluster")
+		levels      = flag.Int("levels", 6, "log2 of partition count")
+		seed        = flag.Int64("seed", 42, "random seed")
+		iterations  = flag.Int("iterations", 3, "iterations for the cascade study")
+		workers     = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		parallelOut = flag.String("parallel-out", "BENCH_parallel.json", "output file for the parallel experiment")
+		appsDir     = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
 	)
 	flag.Parse()
 
-	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed}
+	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers}
 	dir := *appsDir
 	if dir == "" {
 		dir = bench.FindAppsDir("internal/apps", "../internal/apps", "../../internal/apps")
@@ -150,6 +152,26 @@ func main() {
 		bench.WriteCascade(os.Stdout, res)
 		return nil
 	})
+	// The parallel wall-clock benchmark runs only when asked for: unlike
+	// the paper experiments it measures the host machine, not the
+	// simulated cluster, so it has no place in "-experiment all".
+	if want == "parallel" {
+		run("parallel", func() error {
+			res, err := bench.ParallelBench(bench.ParallelConfig{
+				Scale: 17, EdgeFactor: 8, Levels: 4, Machines: 16,
+				Iterations: 10, Workers: *workers, Seed: *seed,
+			})
+			if err != nil {
+				return err
+			}
+			bench.WriteParallel(os.Stdout, res)
+			if err := bench.WriteParallelJSON(*parallelOut, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *parallelOut)
+			return nil
+		})
+	}
 	run("ablation", func() error {
 		rows, err := bench.Ablation(s)
 		if err != nil {

@@ -35,6 +35,7 @@ func main() {
 		pods      = flag.Int("pods", 2, "pods (t2)")
 		levels    = flag.Int("levels", 6, "log2 of partition count")
 		seed      = flag.Int64("seed", 42, "random seed")
+		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 	)
 	flag.Parse()
 
@@ -64,7 +65,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed}
+	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers}
 	d := &bench.Deployment{
 		Scale: s, Graph: g, PG: pg, Sk: sk, Topo: topo,
 		PlacePM: partition.RandomPlacement(pt.P, topo, *seed),

@@ -1,6 +1,8 @@
 package apps
 
 import (
+	"sort"
+
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
@@ -91,8 +93,16 @@ func (p *nrMR) Map(pi *storage.PartInfo, g *graph.Graph, emit func(graph.VertexI
 			rTable[v] += delta
 		}
 	}
-	for v, r := range rTable {
-		emit(v, r)
+	// Emit in vertex order: map iteration order would scramble the value
+	// sequence reaching each reducer, and float summation in Reduce is not
+	// order-independent — run-to-run results would differ in the last ULP.
+	dsts := make([]graph.VertexID, 0, len(rTable))
+	for v := range rTable {
+		dsts = append(dsts, v)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	for _, v := range dsts {
+		emit(v, rTable[v])
 	}
 }
 

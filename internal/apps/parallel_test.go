@@ -1,0 +1,98 @@
+package apps
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// TestAppsParallelDeterminism pins the determinism contract at the
+// application level: PageRank (NR), SSSP and CC produce bit-identical
+// results and identical engine metrics whether the compute pool runs 1, 2
+// or 8 workers, across the paper's topology families.
+func TestAppsParallelDeterminism(t *testing.T) {
+	g := graph.Social(graph.DefaultSocial(4096, 7))
+	pt, sk := partition.RecursiveBisect(g, 3, partition.Options{Seed: 7})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos := map[string]*cluster.Topology{
+		"T1": cluster.NewT1(8),
+		"T2": cluster.NewT2(cluster.T2Config{Machines: 8, Pods: 2, Levels: 1}),
+		"T3": cluster.NewT3(8, 7),
+	}
+	appsUnderTest := map[string]App{
+		"PageRank": NewNR(5),
+		"SSSP":     NewSSSP(0, 30),
+		"CC":       NewCC(30),
+	}
+	for topoName, topo := range topos {
+		pl := partition.SketchPlacement(sk, topo)
+		for appName, app := range appsUnderTest {
+			t.Run(topoName+"/"+appName, func(t *testing.T) {
+				run := func(workers int) (any, engine.Metrics) {
+					r := engine.New(engine.Config{Topo: topo, Workers: workers})
+					res, m, err := app.RunPropagation(r, pg, pl, propagation.Options{
+						LocalPropagation: true, LocalCombination: true,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, m
+				}
+				refRes, refM := run(1)
+				for _, workers := range []int{2, 8} {
+					gotRes, gotM := run(workers)
+					if gotM != refM {
+						t.Errorf("workers=%d: metrics %+v, want %+v", workers, gotM, refM)
+					}
+					if !reflect.DeepEqual(gotRes, refRes) {
+						t.Errorf("workers=%d: results diverge from serial run", workers)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAppsParallelMapReduceDeterminism covers the MapReduce primitive's
+// parallel map/reduce phases the same way.
+func TestAppsParallelMapReduceDeterminism(t *testing.T) {
+	g := graph.Social(graph.DefaultSocial(2048, 11))
+	pt, _ := partition.RecursiveBisect(g, 3, partition.Options{Seed: 11})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.NewT1(8)
+	pl := partition.RandomPlacement(pt.P, topo, 11)
+	for _, app := range []App{NewNR(3), NewSSSP(0, 10), NewCC(10)} {
+		t.Run(app.Name(), func(t *testing.T) {
+			run := func(workers int) (any, engine.Metrics) {
+				r := engine.New(engine.Config{Topo: topo, Workers: workers})
+				res, m, err := app.RunMapReduce(r, pg, pl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res, m
+			}
+			refRes, refM := run(1)
+			for _, workers := range []int{2, 8} {
+				gotRes, gotM := run(workers)
+				if gotM != refM {
+					t.Errorf("workers=%d: metrics %+v, want %+v", workers, gotM, refM)
+				}
+				if !reflect.DeepEqual(gotRes, refRes) {
+					t.Errorf("workers=%d: results diverge from serial run", workers)
+				}
+			}
+		})
+	}
+}

@@ -33,6 +33,10 @@ type Scale struct {
 	Machines int
 	// Seed drives generation and partitioning.
 	Seed int64
+	// Workers sizes the engine's compute worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Measured virtual-time results are identical for every
+	// value; only wall-clock changes.
+	Workers int
 }
 
 // DefaultScale is the full benchmark scale.
@@ -140,7 +144,7 @@ func (d *Deployment) Options(o OptLevel) propagation.Options {
 
 // Runner builds a fresh metrics-clean runner on the deployment's topology.
 func (d *Deployment) Runner() *engine.Runner {
-	return engine.New(engine.Config{Topo: d.Topo})
+	return engine.New(engine.Config{Topo: d.Topo, Workers: d.Scale.Workers})
 }
 
 // RunApp executes one application at one optimization level.

@@ -66,6 +66,10 @@ type Config struct {
 	Failures []engine.Failure
 	// HeartbeatInterval is the failure-detection latency (default 1s).
 	HeartbeatInterval float64
+	// Workers sizes the engine's compute worker pool for runners created
+	// by NewRunner: 0 selects GOMAXPROCS, 1 forces serial execution.
+	// Results are bit-identical for every value.
+	Workers int
 }
 
 // System is a fully assembled Surfer deployment: partitioned, placed and
@@ -138,8 +142,12 @@ func (s *System) NewRunner() *engine.Runner {
 		Replicas:          s.Replicas,
 		Failures:          s.cfg.Failures,
 		HeartbeatInterval: s.cfg.HeartbeatInterval,
+		Workers:           s.cfg.Workers,
 	})
 }
+
+// Workers reports the configured compute worker count (0 = GOMAXPROCS).
+func (s *System) Workers() int { return s.cfg.Workers }
 
 // PartitioningTime estimates the elapsed time of the distributed
 // partitioning run itself under the given cost model (Table 1). It returns

@@ -31,6 +31,11 @@ type Config struct {
 	// more task to a slave node when the slave node finishes a task").
 	// Defaults to 1.
 	SlotsPerMachine int
+	// Workers sizes the pool that executes the real Go compute of tasks
+	// (Transfer fan-out, Combine folds, Map/Reduce bodies) on host cores.
+	// Zero or negative selects GOMAXPROCS; 1 forces serial execution.
+	// Results are bit-identical for every value — see Pool.
+	Workers int
 }
 
 // Runner executes jobs on the simulated cluster. A Runner carries its
@@ -38,6 +43,7 @@ type Config struct {
 // can run each iteration as a separate job and read cumulative metrics.
 type Runner struct {
 	cfg      Config
+	pool     *Pool
 	clock    float64
 	metrics  Metrics
 	timeline Timeline
@@ -58,11 +64,17 @@ func New(cfg Config) *Runner {
 	if cfg.SlotsPerMachine <= 0 {
 		cfg.SlotsPerMachine = 1
 	}
-	r := &Runner{cfg: cfg, dead: make(map[cluster.MachineID]bool)}
+	r := &Runner{cfg: cfg, pool: NewPool(cfg.Workers), dead: make(map[cluster.MachineID]bool)}
 	r.failures = append(r.failures, cfg.Failures...)
 	sortFailures(r.failures)
 	return r
 }
+
+// Pool returns the worker pool that executes task compute bodies.
+func (r *Runner) Pool() *Pool { return r.pool }
+
+// Workers reports the pool size the runner executes compute with.
+func (r *Runner) Workers() int { return r.pool.Workers() }
 
 func sortFailures(fs []Failure) {
 	for i := 1; i < len(fs); i++ {

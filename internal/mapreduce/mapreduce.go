@@ -73,6 +73,17 @@ func hashKey[K Key](k K, mod int) int {
 	return int(h>>33) % mod
 }
 
+// shuffled is one entry of a map task's output log: the pair plus its
+// destination reducer. Map tasks run in parallel and each fills only its
+// own log; the shuffle then replays the logs in map-task index order, so
+// every reducer sees its values in the exact sequence a serial run
+// produces.
+type shuffled[K Key, V any] struct {
+	key K
+	val V
+	red int
+}
+
 // Run executes the MapReduce job on the simulated cluster and returns the
 // reduce results keyed by K. The number of reduce tasks equals the number
 // of partitions; reducers are spread round-robin over machines, reflecting
@@ -85,11 +96,10 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 	numMachines := r.NumMachines()
 	reducers := p
 
-	// Semantic map phase with exact shuffle accounting.
-	buckets := make([]map[K][]V, reducers)
-	for i := range buckets {
-		buckets[i] = make(map[K][]V)
-	}
+	// Semantic map phase with exact shuffle accounting. Map bodies run in
+	// parallel over the runner's pool; each task writes only its own log
+	// and accounting slots (perMap[i], mapOutBytes[i], ...).
+	perMap := make([][]shuffled[K, V], p)
 	mapOutBytes := make([]int64, p)    // materialized map output per partition
 	shuffleBytes := make([][]int64, p) // [mapTask][reducer] bytes
 	pairsEmitted := make([]int64, p)
@@ -97,7 +107,10 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 		shuffleBytes[i] = make([]int64, reducers)
 	}
 	combiner, hasCombiner := prog.(Combiner[K, V])
-	for i, pi := range pg.Parts {
+	pool := r.Pool()
+	pool.ForEach(p, func(i int) {
+		pi := pg.Parts[i]
+		var out []shuffled[K, V]
 		if hasCombiner {
 			// Collect this map task's pairs, fold per key map-side,
 			// then account and shuffle only the folded pairs.
@@ -118,39 +131,62 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 					folded = combiner.CombineValues(k, vals)
 				}
 				red := hashKey(k, reducers)
-				buckets[red][k] = append(buckets[red][k], folded)
 				b := prog.PairBytes(k, folded)
 				mapOutBytes[i] += b
 				shuffleBytes[i][red] += b
+				out = append(out, shuffled[K, V]{key: k, val: folded, red: red})
 			}
-			continue
+		} else {
+			prog.Map(pi, pg.G, func(k K, v V) {
+				red := hashKey(k, reducers)
+				b := prog.PairBytes(k, v)
+				mapOutBytes[i] += b
+				shuffleBytes[i][red] += b
+				pairsEmitted[i]++
+				out = append(out, shuffled[K, V]{key: k, val: v, red: red})
+			})
 		}
-		prog.Map(pi, pg.G, func(k K, v V) {
-			red := hashKey(k, reducers)
-			buckets[red][k] = append(buckets[red][k], v)
-			b := prog.PairBytes(k, v)
-			mapOutBytes[i] += b
-			shuffleBytes[i][red] += b
-			pairsEmitted[i]++
-		})
+		perMap[i] = out
+	})
+	// Deterministic shuffle: deliver the logs into the reducer buckets in
+	// map-task index order — the serial delivery order.
+	buckets := make([]map[K][]V, reducers)
+	for i := range buckets {
+		buckets[i] = make(map[K][]V)
+	}
+	for i := range perMap {
+		for _, s := range perMap[i] {
+			buckets[s.red][s.key] = append(buckets[s.red][s.key], s.val)
+		}
+		perMap[i] = nil
 	}
 
-	// Semantic reduce phase.
-	results := make(map[K]R)
+	// Semantic reduce phase: reducers own disjoint (hash-partitioned) key
+	// sets, so they fold in parallel into per-reducer result maps.
+	perRed := make([]map[K]R, reducers)
 	reduceValues := make([]int64, reducers)
 	reduceOutBytes := make([]int64, reducers)
-	for red, bucket := range buckets {
+	pool.ForEach(reducers, func(red int) {
+		bucket := buckets[red]
 		keys := make([]K, 0, len(bucket))
 		for k := range bucket {
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		local := make(map[K]R, len(bucket))
 		for _, k := range keys {
 			vals := bucket[k]
 			res := prog.Reduce(k, vals)
-			results[k] = res
+			local[k] = res
 			reduceValues[red] += int64(len(vals))
 			reduceOutBytes[red] += prog.ResultBytes(res)
+		}
+		perRed[red] = local
+	})
+	results := make(map[K]R)
+	for _, local := range perRed {
+		for k, res := range local {
+			results[k] = res
 		}
 	}
 

@@ -190,6 +190,7 @@ func RunCascaded[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *part
 	for i := 0; i < iters; i++ {
 		phasePos := i % ci.MinDiameter // 0-based position within the phase
 		ex := newExecution(pg, pl, prog, st, opt)
+		ex.pool = r.Pool()
 		// Iterations at a phase boundary (or the final iteration) must
 		// materialize everything; later in-phase iterations skip I/O for
 		// deep vertices.

@@ -1,0 +1,74 @@
+package propagation
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// FuzzPropagationParallel fuzzes the determinism contract: a small graph is
+// decoded from the fuzz input (consecutive byte pairs are edges), run through
+// propagation serially and with a parallel compute pool, and the two
+// executions must agree bit-for-bit on vertex values and engine metrics.
+func FuzzPropagationParallel(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, int64(1), uint8(3))
+	f.Add([]byte{0, 0, 5, 9, 9, 5, 3, 7, 7, 3, 1, 4}, int64(42), uint8(0))
+	f.Add([]byte{255, 0, 0, 255, 128, 64, 64, 128}, int64(7), uint8(2))
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, optPick uint8) {
+		if len(data) < 2 {
+			return
+		}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		const n = 64
+		edges := make([][2]graph.VertexID, 0, len(data)/2)
+		for i := 0; i+1 < len(data); i += 2 {
+			edges = append(edges, [2]graph.VertexID{
+				graph.VertexID(int(data[i]) % n),
+				graph.VertexID(int(data[i+1]) % n),
+			})
+		}
+		g := graph.FromEdges(n, edges)
+		pt, sk := partition.RecursiveBisect(g, 2, partition.Options{Seed: seed})
+		pg, err := storage.Build(g, pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topo := cluster.NewT1(4)
+		pl := partition.SketchPlacement(sk, topo)
+		prog := &weightedSum{weights: make([]int64, n)}
+		for i := range prog.weights {
+			prog.weights[i] = int64((int(seed) + i) % 5)
+		}
+		opt := Options{
+			LocalPropagation: optPick&1 != 0,
+			LocalCombination: optPick&2 != 0,
+		}
+		run := func(workers int) ([]int64, engine.Metrics) {
+			r := engine.New(engine.Config{Topo: topo, Workers: workers})
+			st := NewState[int64](pg, prog)
+			st, m, err := RunIterations(r, pg, pl, prog, st, opt, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st.Values, m
+		}
+		refVals, refM := run(1)
+		for _, workers := range []int{2, 8} {
+			gotVals, gotM := run(workers)
+			if gotM != refM {
+				t.Fatalf("workers=%d: metrics %+v, want %+v", workers, gotM, refM)
+			}
+			for v := range refVals {
+				if gotVals[v] != refVals[v] {
+					t.Fatalf("workers=%d: vertex %d = %d, want %d", workers, v, gotVals[v], refVals[v])
+				}
+			}
+		}
+	})
+}

@@ -98,6 +98,69 @@ func TestQuickOptLevelEquivalence(t *testing.T) {
 	}
 }
 
+// TestQuickParallelEquivalence is the determinism contract of the parallel
+// executor: for random seeds, partition counts and topologies, running the
+// same program with 1, 2 and 8 compute workers yields bit-identical vertex
+// values and identical engine metrics.
+func TestQuickParallelEquivalence(t *testing.T) {
+	topos := func(machines int, seed int64) []*cluster.Topology {
+		return []*cluster.Topology{
+			cluster.NewT1(machines),
+			cluster.NewT2(cluster.T2Config{Machines: machines, Pods: 2, Levels: 1}),
+			cluster.NewT3(machines, seed),
+		}
+	}
+	f := func(seed int64, levelPick, optPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(400)
+		g := graph.Uniform(n, n*4, seed)
+		levels := 1 + int(levelPick%3)
+		pt, sk := partition.RecursiveBisect(g, levels, partition.Options{Seed: seed})
+		pg, err := storage.Build(g, pt)
+		if err != nil {
+			return false
+		}
+		prog := &weightedSum{weights: make([]int64, n)}
+		for i := range prog.weights {
+			prog.weights[i] = int64(rng.Intn(5))
+		}
+		opt := Options{
+			LocalPropagation: optPick&1 != 0,
+			LocalCombination: optPick&2 != 0,
+		}
+		for _, topo := range topos(4, seed) {
+			pl := partition.SketchPlacement(sk, topo)
+			run := func(workers int) ([]int64, engine.Metrics) {
+				r := engine.New(engine.Config{Topo: topo, Workers: workers})
+				st := NewState[int64](pg, prog)
+				st, m, err := RunIterations(r, pg, pl, prog, st, opt, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st.Values, m
+			}
+			refVals, refM := run(1)
+			for _, workers := range []int{2, 8} {
+				gotVals, gotM := run(workers)
+				if gotM != refM {
+					t.Logf("metrics diverge with %d workers: %+v vs %+v", workers, gotM, refM)
+					return false
+				}
+				for v := range refVals {
+					if gotVals[v] != refVals[v] {
+						t.Logf("vertex %d diverges with %d workers", v, workers)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestQuickCascadeEquivalence: cascading never changes results for random
 // graphs and iteration counts.
 func TestQuickCascadeEquivalence(t *testing.T) {

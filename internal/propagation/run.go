@@ -49,6 +49,7 @@ func Iterate[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partitio
 		return nil, engine.Metrics{}, fmt.Errorf("propagation: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
 	}
 	ex := newExecution(pg, pl, prog, st, opt)
+	ex.pool = r.Pool()
 	ex.transferAll()
 	next := ex.combineAll()
 	job := ex.buildJob()
@@ -67,6 +68,12 @@ type execution[V any] struct {
 	prog Program[V]
 	st   *State[V]
 	opt  Options
+	// pool runs the per-partition compute bodies on host cores; nil means
+	// serial. Determinism: each partition writes only its own slots during
+	// the parallel phase, and shared structures (bags, crossHook state) are
+	// touched only by the serial merge that replays partitions in index
+	// order — so results are bit-identical for every worker count.
+	pool *engine.Pool
 
 	n     int
 	assoc bool
@@ -74,6 +81,9 @@ type execution[V any] struct {
 	// holds the same for virtual vertices.
 	bags        [][]V
 	virtualBags map[graph.VertexID][]V
+	// perPart[p] is partition p's ordered emission log from the parallel
+	// transfer phase, replayed by mergeEmissions.
+	perPart [][]emission[V]
 
 	// Per-partition accounting.
 	localBytes    []int64         // intermediates materialized inside the partition
@@ -121,42 +131,78 @@ func (ex *execution[V]) partOf(dst graph.VertexID) partition.PartID {
 	return VirtualPartition(dst, ex.pg.Part.P)
 }
 
-// transferAll runs the Transfer stage semantics for every partition and
-// accumulates the accounting.
-func (ex *execution[V]) transferAll() {
-	useLocalComb := ex.assoc && ex.opt.LocalCombination
-	for p, pi := range ex.pg.Parts {
-		// Pending emissions grouped by destination for local combination:
-		// remote-bound groups shrink the transfer, same-partition groups
-		// headed to non-fusable vertices shrink the materialized
-		// intermediates (one merged value per destination instead of one
-		// per edge).
-		var groups map[graph.VertexID][]V
-		if useLocalComb {
-			groups = make(map[graph.VertexID][]V)
-		}
-		vt, hasVT := any(ex.prog).(VertexTransferrer[V])
-		for _, u := range pi.Vertices {
-			ex.stateRead[p] += ex.prog.Bytes(ex.st.Values[u])
-			val := ex.st.Values[u]
-			emit := func(d graph.VertexID, v V) {
-				ex.emit(p, pi, groups, d, v)
-			}
-			if hasVT {
-				vt.TransferVertex(u, val, emit)
-			}
-			for _, dst := range ex.pg.G.Neighbors(u) {
-				ex.prog.Transfer(u, val, dst, emit)
-			}
-		}
-		if useLocalComb {
-			ex.flushGroups(p, groups)
-		}
-	}
+// emitKind classifies a recorded emission for the deterministic merge.
+type emitKind uint8
+
+const (
+	// emitFused: same-partition destination with all-local inputs under
+	// local propagation — consumed in memory, no I/O charged.
+	emitFused emitKind = iota
+	// emitLocal: same-partition destination materialized to local disk.
+	emitLocal
+	// emitRemote: cross-partition destination (crossHook candidate).
+	emitRemote
+)
+
+// emission is one entry of a partition's transfer output log: the exact
+// sequence of values the serial executor would have delivered, with the
+// classification needed to charge its I/O during the merge.
+type emission[V any] struct {
+	dst  graph.VertexID
+	val  V
+	kind emitKind
+	q    int // destination partition (emitRemote only)
 }
 
-// emit classifies one emitted value and records its cost.
-func (ex *execution[V]) emit(p int, pi *storage.PartInfo, groups map[graph.VertexID][]V, dst graph.VertexID, v V) {
+// transferAll runs the Transfer stage semantics for every partition —
+// in parallel over the runner's worker pool — then merges the per-partition
+// emission logs in partition-index order, reproducing the serial delivery
+// order exactly.
+func (ex *execution[V]) transferAll() {
+	ex.perPart = make([][]emission[V], len(ex.pg.Parts))
+	ex.pool.ForEach(len(ex.pg.Parts), ex.transferPart)
+	ex.mergeEmissions()
+}
+
+// transferPart runs one partition's Transfer calls and local combination.
+// It writes only partition-indexed slots (perPart[p], stateRead[p]), so
+// concurrent invocations for different partitions never share state.
+func (ex *execution[V]) transferPart(p int) {
+	pi := ex.pg.Parts[p]
+	useLocalComb := ex.assoc && ex.opt.LocalCombination
+	// Pending emissions grouped by destination for local combination:
+	// remote-bound groups shrink the transfer, same-partition groups
+	// headed to non-fusable vertices shrink the materialized
+	// intermediates (one merged value per destination instead of one
+	// per edge).
+	var groups map[graph.VertexID][]V
+	if useLocalComb {
+		groups = make(map[graph.VertexID][]V)
+	}
+	vt, hasVT := any(ex.prog).(VertexTransferrer[V])
+	var out []emission[V]
+	emit := func(d graph.VertexID, v V) {
+		out = ex.record(pi, groups, out, d, v)
+	}
+	for _, u := range pi.Vertices {
+		ex.stateRead[p] += ex.prog.Bytes(ex.st.Values[u])
+		val := ex.st.Values[u]
+		if hasVT {
+			vt.TransferVertex(u, val, emit)
+		}
+		for _, dst := range ex.pg.G.Neighbors(u) {
+			ex.prog.Transfer(u, val, dst, emit)
+		}
+	}
+	if useLocalComb {
+		out = ex.flushGroups(p, groups, out)
+	}
+	ex.perPart[p] = out
+}
+
+// record classifies one emitted value into the partition's emission log (or
+// its local-combination group).
+func (ex *execution[V]) record(pi *storage.PartInfo, groups map[graph.VertexID][]V, out []emission[V], dst graph.VertexID, v V) []emission[V] {
 	if int(dst) >= ex.n+ex.opt.VirtualVertices || int(dst) < 0 {
 		panic(fmt.Sprintf("propagation: emission to vertex %d outside real+virtual space", dst))
 	}
@@ -168,31 +214,24 @@ func (ex *execution[V]) emit(p int, pi *storage.PartInfo, groups map[graph.Verte
 		// after per-destination merging when local combination applies.
 		fusable := int(dst) < ex.n && !pi.HasCrossInEdge(dst)
 		if ex.opt.LocalPropagation && fusable {
-			ex.appendBag(dst, v)
-			return
+			return append(out, emission[V]{dst: dst, val: v, kind: emitFused})
 		}
 		if groups != nil {
 			groups[dst] = append(groups[dst], v)
-			return
+			return out
 		}
-		ex.localBytes[p] += ex.prog.Bytes(v)
-		ex.appendBag(dst, v)
-		return
+		return append(out, emission[V]{dst: dst, val: v, kind: emitLocal})
 	}
 	if groups != nil {
 		groups[dst] = append(groups[dst], v)
-		return
+		return out
 	}
-	if ex.crossHook != nil && ex.crossHook(p, dst, v) {
-		return
-	}
-	ex.remoteBytes[p][int(q)] += ex.prog.Bytes(v)
-	ex.appendBag(dst, v)
+	return append(out, emission[V]{dst: dst, val: v, kind: emitRemote, q: int(q)})
 }
 
-// flushGroups merges grouped remote emissions (local combination) and
-// charges the merged sizes.
-func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V) {
+// flushGroups merges grouped emissions (local combination) into the log in
+// sorted destination order.
+func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V, out []emission[V]) []emission[V] {
 	dsts := make([]graph.VertexID, 0, len(groups))
 	for d := range groups {
 		dsts = append(dsts, d)
@@ -206,14 +245,37 @@ func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V) {
 		}
 		q := ex.partOf(d)
 		if int(q) == p {
-			ex.localBytes[p] += ex.prog.Bytes(merged)
+			out = append(out, emission[V]{dst: d, val: merged, kind: emitLocal})
 		} else {
-			if ex.crossHook != nil && ex.crossHook(p, d, merged) {
-				continue
-			}
-			ex.remoteBytes[p][int(q)] += ex.prog.Bytes(merged)
+			out = append(out, emission[V]{dst: d, val: merged, kind: emitRemote, q: int(q)})
 		}
-		ex.appendBag(d, merged)
+	}
+	return out
+}
+
+// mergeEmissions replays the per-partition logs in partition-index order,
+// delivering values into the shared bags and charging I/O. This is the
+// serial step that pins down ordering: bags receive values in exactly the
+// sequence the serial executor produced, so order-sensitive combines and
+// float summations stay bit-identical for every worker count.
+func (ex *execution[V]) mergeEmissions() {
+	for p := range ex.perPart {
+		for _, e := range ex.perPart[p] {
+			switch e.kind {
+			case emitFused:
+				ex.appendBag(e.dst, e.val)
+			case emitLocal:
+				ex.localBytes[p] += ex.prog.Bytes(e.val)
+				ex.appendBag(e.dst, e.val)
+			case emitRemote:
+				if ex.crossHook != nil && ex.crossHook(p, e.dst, e.val) {
+					continue
+				}
+				ex.remoteBytes[p][e.q] += ex.prog.Bytes(e.val)
+				ex.appendBag(e.dst, e.val)
+			}
+		}
+		ex.perPart[p] = nil
 	}
 }
 
@@ -232,7 +294,10 @@ func (ex *execution[V]) combineAll() *State[V] {
 		Values:  make([]V, ex.n),
 		Virtual: make(map[graph.VertexID]V, len(ex.virtualBags)),
 	}
-	for p, pi := range ex.pg.Parts {
+	// Real vertices combine in parallel: partitions own disjoint vertex
+	// sets and disjoint accounting slots, and the bags are read-only here.
+	ex.pool.ForEach(len(ex.pg.Parts), func(p int) {
+		pi := ex.pg.Parts[p]
 		for _, v := range pi.Vertices {
 			bag := ex.bags[v]
 			next.Values[v] = ex.prog.Combine(v, ex.st.Values[v], bag)
@@ -245,7 +310,7 @@ func (ex *execution[V]) combineAll() *State[V] {
 				ex.stateRead[p] -= ex.prog.Bytes(ex.st.Values[v])
 			}
 		}
-	}
+	})
 	// Virtual vertices: combined in their owning partition with a zero
 	// previous value on first receipt.
 	dsts := make([]graph.VertexID, 0, len(ex.virtualBags))

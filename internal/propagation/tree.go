@@ -55,9 +55,12 @@ func IterateTree[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *part
 	partPod := func(p int) int { return topo.Pod(pl.MachineOf[p]) }
 
 	ex := newExecution(pg, pl, prog, st, opt)
+	ex.pool = r.Pool()
 	// Intercept cross-pod values after local combination: group them per
 	// (sending pod, destination vertex) for the Aggregate stage and track
 	// the partition -> aggregator intra-pod traffic per aggregation task.
+	// The hook only fires from the serial merge step (mergeEmissions), so
+	// its shared maps need no locking even with a parallel pool.
 	type podDst struct {
 		pod int
 		dst graph.VertexID

@@ -79,6 +79,9 @@ type Config struct {
 	Policy   Policy
 	// SlotsPerMachine is forwarded to the engine.
 	SlotsPerMachine int
+	// Workers is forwarded to the engine's compute worker pool
+	// (0 = GOMAXPROCS, 1 = serial; results identical either way).
+	Workers int
 }
 
 // Scheduler coordinates jobs over one shared simulated cluster.
@@ -110,6 +113,7 @@ func New(cfg Config) *Scheduler {
 			Replicas:        cfg.Replicas,
 			Failures:        cfg.Failures,
 			SlotsPerMachine: cfg.SlotsPerMachine,
+			Workers:         cfg.Workers,
 		}),
 		served: make(map[string]float64),
 	}

@@ -146,7 +146,12 @@ const (
 // Build partitions and places the configured graph.
 func Build(cfg Config) (*System, error) { return core.Build(cfg) }
 
-// Runner executes jobs on the simulated cluster in virtual time.
+// Runner executes jobs on the simulated cluster in virtual time. The
+// compute bodies of concurrently in-flight tasks (Transfer fan-out, Combine
+// folds, Map/Reduce) execute on a real worker pool sized by Config.Workers
+// (0 = GOMAXPROCS, 1 = serial); results and Metrics are bit-identical for
+// every worker count — see DESIGN.md, "Parallel execution & the
+// determinism contract".
 type Runner = engine.Runner
 
 // Metrics aggregates response time, total machine time, network I/O and
@@ -246,12 +251,15 @@ const (
 	ScheduleFair = scheduler.Fair
 )
 
-// NewScheduler creates a job scheduler over a system's cluster.
+// NewScheduler creates a job scheduler over a system's cluster. The
+// scheduler's runner inherits the system's Workers setting, so compute
+// parallelism follows the deployment configuration.
 func NewScheduler(sys *System, policy scheduler.Policy) *Scheduler {
 	return scheduler.New(scheduler.Config{
 		Topo:     sys.Topology,
 		Replicas: sys.Replicas,
 		Policy:   policy,
+		Workers:  sys.Workers(),
 	})
 }
 
