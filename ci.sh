@@ -1,10 +1,21 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite under the race detector.
-# The parallel executor's determinism tests (quick_test.go, parallel_test.go,
-# faulttolerance_test.go) run with worker pools > 1 here, so -race exercises
-# the concurrent Transfer/Combine/Map/Reduce paths for real data races.
+# CI gate: format, vet, build, and run the full test suite under the race
+# detector. The parallel executor's determinism tests (quick_test.go,
+# parallel_test.go, faulttolerance_test.go) run with worker pools > 1 here,
+# so -race exercises the concurrent Transfer/Combine/Map/Reduce paths for
+# real data races. The smoke step then exercises the observability layer
+# end to end: generate a graph, run a traced NR job on the heterogeneous
+# topology, and validate the emitted Chrome trace JSON.
 set -eux
 
+test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
 go test -race ./...
+
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+go run ./cmd/surfer-gen -kind social -vertices 4096 -seed 42 -out "$smoke/g.srfg"
+go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t3 \
+    -machines 8 -levels 2 -trace "$smoke/trace.json"
+go run ./cmd/surfer-trace -in "$smoke/trace.json"

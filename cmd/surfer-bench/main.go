@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -32,10 +33,15 @@ func main() {
 		workers     = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 		parallelOut = flag.String("parallel-out", "BENCH_parallel.json", "output file for the parallel experiment")
 		appsDir     = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated run to this file")
 	)
 	flag.Parse()
 
-	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
+	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers, Trace: rec}
 	dir := *appsDir
 	if dir == "" {
 		dir = bench.FindAppsDir("internal/apps", "../internal/apps", "../../internal/apps")
@@ -180,4 +186,19 @@ func main() {
 		bench.WriteAblation(os.Stdout, rows)
 		return nil
 	})
+
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := trace.WriteChrome(f, rec.Events()); err != nil {
+			f.Close()
+			log.Fatalf("writing trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *traceOut, rec.Len())
+	}
 }

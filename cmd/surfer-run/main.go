@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/apps"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 		levels    = flag.Int("levels", 6, "log2 of partition count")
 		seed      = flag.Int64("seed", 42, "random seed")
 		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -65,7 +68,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers}
+	var rec *trace.Recorder
+	if *traceOut != "" {
+		rec = trace.NewRecorder()
+	}
+	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers, Trace: rec}
 	d := &bench.Deployment{
 		Scale: s, Graph: g, PG: pg, Sk: sk, Topo: topo,
 		PlacePM: partition.RandomPlacement(pt.P, topo, *seed),
@@ -93,6 +100,24 @@ func main() {
 	default:
 		log.Fatalf("unknown primitive %q", *primitive)
 	}
+	if rec != nil {
+		if err := writeTrace(*traceOut, rec); err != nil {
+			log.Fatalf("writing trace: %v", err)
+		}
+		fmt.Printf("trace:              %s (%d events)\n", *traceOut, rec.Len())
+	}
+}
+
+func writeTrace(path string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func findApp(name string) apps.App {

@@ -1,0 +1,99 @@
+// surfer-trace validates and summarizes a Chrome trace_event JSON file
+// produced by surfer-run -trace or surfer-bench -trace. It parses the file,
+// checks the structural invariants of the exporter (required fields per
+// phase type, non-negative timestamps and durations), and prints a short
+// summary. A malformed file exits nonzero, which makes the tool usable as a
+// CI gate.
+//
+// Usage:
+//
+//	surfer-trace -in trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// traceFile mirrors the exporter's top-level object.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// traceEvent carries the fields surfer-trace checks; unknown fields are
+// ignored so the format can grow.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	Cat  string          `json:"cat"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Ts   float64         `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	Args json.RawMessage `json:"args"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-trace: ")
+	in := flag.String("in", "", "Chrome trace_event JSON file to validate")
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("missing -in trace.json")
+	}
+
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		log.Fatalf("%s: invalid JSON: %v", *in, err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		log.Fatalf("%s: no trace events", *in)
+	}
+
+	byPhase := map[string]int{}
+	pids := map[int]bool{}
+	var spans, instants int
+	var maxEnd float64
+	for i, ev := range tf.TraceEvents {
+		byPhase[ev.Ph]++
+		switch ev.Ph {
+		case "X":
+			if ev.Dur == nil {
+				log.Fatalf("%s: event %d (%q): complete event without dur", *in, i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				log.Fatalf("%s: event %d (%q): negative duration %v", *in, i, ev.Name, *ev.Dur)
+			}
+			if end := ev.Ts + *ev.Dur; end > maxEnd {
+				maxEnd = end
+			}
+			spans++
+		case "i":
+			instants++
+		case "M":
+			// metadata events carry no timing
+		default:
+			log.Fatalf("%s: event %d (%q): unexpected phase %q", *in, i, ev.Name, ev.Ph)
+		}
+		if ev.Ph != "M" {
+			if ev.Ts < 0 {
+				log.Fatalf("%s: event %d (%q): negative timestamp %v", *in, i, ev.Name, ev.Ts)
+			}
+			pids[ev.Pid] = true
+		}
+	}
+
+	fmt.Printf("%s: OK\n", *in)
+	fmt.Printf("events:    %d (%d spans, %d instants, %d metadata)\n",
+		len(tf.TraceEvents), spans, instants, byPhase["M"])
+	fmt.Printf("processes: %d\n", len(pids))
+	fmt.Printf("time span: %.3f ms virtual\n", maxEnd/1e3)
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/propagation"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Scale sizes an experiment run. The defaults mirror the paper's setup
@@ -37,6 +38,10 @@ type Scale struct {
 	// 1 = serial). Measured virtual-time results are identical for every
 	// value; only wall-clock changes.
 	Workers int
+	// Trace, when non-nil, receives the structured event stream of every
+	// run built from this scale. The stream is identical for every
+	// Workers value.
+	Trace *trace.Recorder
 }
 
 // DefaultScale is the full benchmark scale.
@@ -143,8 +148,10 @@ func (d *Deployment) Options(o OptLevel) propagation.Options {
 }
 
 // Runner builds a fresh metrics-clean runner on the deployment's topology.
+// The scale's trace recorder (if any) is shared across runners, so one
+// recorder collects a whole experiment sweep.
 func (d *Deployment) Runner() *engine.Runner {
-	return engine.New(engine.Config{Topo: d.Topo, Workers: d.Scale.Workers})
+	return engine.New(engine.Config{Topo: d.Topo, Workers: d.Scale.Workers, Trace: d.Scale.Trace})
 }
 
 // RunApp executes one application at one optimization level.

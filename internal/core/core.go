@@ -15,6 +15,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/propagation"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // PartitionStrategy selects how the graph is partitioned and placed.
@@ -70,6 +71,12 @@ type Config struct {
 	// by NewRunner: 0 selects GOMAXPROCS, 1 forces serial execution.
 	// Results are bit-identical for every value.
 	Workers int
+	// Trace, when non-nil, receives the structured event stream of every
+	// runner created by NewRunner: task starts/finishes, NIC transfers
+	// with queueing delays, stage barriers, failures and retries. Export
+	// it with trace.WriteChrome or fold it with trace.Summarize. Nil (the
+	// default) disables tracing at zero cost.
+	Trace *trace.Recorder
 }
 
 // System is a fully assembled Surfer deployment: partitioned, placed and
@@ -143,8 +150,12 @@ func (s *System) NewRunner() *engine.Runner {
 		Failures:          s.cfg.Failures,
 		HeartbeatInterval: s.cfg.HeartbeatInterval,
 		Workers:           s.cfg.Workers,
+		Trace:             s.cfg.Trace,
 	})
 }
+
+// Trace reports the configured trace recorder (nil when tracing is off).
+func (s *System) Trace() *trace.Recorder { return s.cfg.Trace }
 
 // Workers reports the configured compute worker count (0 = GOMAXPROCS).
 func (s *System) Workers() int { return s.cfg.Workers }

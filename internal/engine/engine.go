@@ -5,7 +5,9 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/partition"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Failure schedules the death of a machine at a virtual time, for the
@@ -36,6 +38,11 @@ type Config struct {
 	// Zero or negative selects GOMAXPROCS; 1 forces serial execution.
 	// Results are bit-identical for every value — see Pool.
 	Workers int
+	// Trace receives one structured event per task start/finish, NIC
+	// transfer, stage barrier, failure and retry. Nil disables tracing at
+	// zero cost. Every event is emitted from the serial event loop, so the
+	// stream is identical for every Workers value (see docs/METRICS.md).
+	Trace *trace.Recorder
 }
 
 // Runner executes jobs on the simulated cluster. A Runner carries its
@@ -54,6 +61,9 @@ type Runner struct {
 	busySeconds   map[cluster.MachineID]float64
 	progress      []ProgressSample
 	progressTotal int
+	// tr receives structured trace events; nil means tracing is disabled
+	// and every emission site reduces to a nil check.
+	tr *trace.Recorder
 }
 
 // New creates a Runner.
@@ -64,7 +74,7 @@ func New(cfg Config) *Runner {
 	if cfg.SlotsPerMachine <= 0 {
 		cfg.SlotsPerMachine = 1
 	}
-	r := &Runner{cfg: cfg, pool: NewPool(cfg.Workers), dead: make(map[cluster.MachineID]bool)}
+	r := &Runner{cfg: cfg, pool: NewPool(cfg.Workers), tr: cfg.Trace, dead: make(map[cluster.MachineID]bool)}
 	r.failures = append(r.failures, cfg.Failures...)
 	sortFailures(r.failures)
 	return r
@@ -72,6 +82,9 @@ func New(cfg Config) *Runner {
 
 // Pool returns the worker pool that executes task compute bodies.
 func (r *Runner) Pool() *Pool { return r.pool }
+
+// Trace returns the runner's trace recorder (nil when tracing is off).
+func (r *Runner) Trace() *trace.Recorder { return r.tr }
 
 // Workers reports the pool size the runner executes compute with.
 func (r *Runner) Workers() int { return r.pool.Workers() }
@@ -186,6 +199,10 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 		total += len(st.Tasks)
 	}
 	r.resetProgress(total)
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindJobBegin, Job: job.Name,
+			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
+	}
 	var prev *stageRun
 	for si := range job.Stages {
 		sr, err := r.runStage(job, si, prev)
@@ -193,6 +210,10 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 			return Metrics{}, err
 		}
 		prev = sr
+	}
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindJobEnd, Job: job.Name,
+			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
 	}
 	m := r.metrics
 	m.ResponseSeconds = r.clock - start
@@ -240,6 +261,10 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 			sr.push(&event{at: at, kind: evFailure, failMachine: f.Machine})
 		}
 	}
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: job.Name, Stage: stage.Name,
+			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
+	}
 	// Start machines in ID order for determinism.
 	for i := 0; i < r.cfg.Topo.NumMachines(); i++ {
 		sr.startNext(cluster.MachineID(i), r.clock)
@@ -265,7 +290,26 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 		}
 	}
 	r.clock = sr.end
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: job.Name, Stage: stage.Name,
+			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: sr.end})
+	}
 	return sr, nil
+}
+
+// stageName names the stage this run executes, for trace events.
+func (sr *stageRun) stageName() string { return sr.job.Stages[sr.stageIdx].Name }
+
+// emitTask emits a task-lifecycle trace event; a no-op when tracing is off.
+func (sr *stageRun) emitTask(kind trace.EventKind, t *Task, m cluster.MachineID, at, start, end float64) {
+	if sr.r.tr == nil {
+		return
+	}
+	sr.r.tr.Emit(trace.Event{
+		Kind: kind, Job: sr.job.Name, Stage: sr.stageName(), Name: t.Name,
+		Machine: int(m), Dst: trace.None, Part: int(t.Part),
+		Time: at, Start: start, End: end,
+	})
 }
 
 func (sr *stageRun) push(e *event) {
@@ -290,6 +334,7 @@ func (sr *stageRun) startNext(m cluster.MachineID, now float64) {
 		sr.running[m]++
 		dur := sr.r.taskDuration(t)
 		sr.r.timeline.record(now, t.DiskRead)
+		sr.emitTask(trace.KindTaskStart, t, m, now, now, 0)
 		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m})
 	}
 }
@@ -309,6 +354,7 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 	r.metrics.MachineSeconds += r.taskDuration(t)
 	r.metrics.DiskBytes += t.DiskRead + t.DiskWrite
 	r.metrics.TasksRun++
+	sr.emitTask(trace.KindTaskEnd, t, e.machine, e.at, e.at-r.taskDuration(t), e.at)
 	r.noteTaskDone(e.machine, e.at, r.taskDuration(t), r.progressTotal)
 	r.timeline.record(e.at, t.DiskWrite)
 	sr.taskMachine[t] = e.machine
@@ -325,7 +371,7 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 					dstM = fm
 				}
 			}
-			sr.sendBytes(e.machine, dstM, out.Bytes, e.at)
+			sr.sendBytes(e.machine, dstM, out.Bytes, e.at, dst.Part)
 		}
 	}
 	sr.startNext(e.machine, e.at)
@@ -333,8 +379,9 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 
 // sendBytes schedules a transfer from src to dst, serializing with earlier
 // transfers on the sender's egress NIC and the receiver's ingress NIC.
-// Intra-machine moves are free.
-func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float64) {
+// Intra-machine moves are free. dstPart is the destination task's partition,
+// recorded on the trace event so traffic can be attributed per partition.
+func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float64, dstPart partition.PartID) {
 	if bytes <= 0 {
 		return
 	}
@@ -342,17 +389,28 @@ func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float
 		return
 	}
 	r := sr.r
+	egFree, inFree := sr.egressFree[src], sr.ingressFree[dst]
 	start := now
-	if f := sr.egressFree[src]; f > start {
-		start = f
+	if egFree > start {
+		start = egFree
 	}
-	if f := sr.ingressFree[dst]; f > start {
-		start = f
+	if inFree > start {
+		start = inFree
 	}
 	dur := float64(bytes) / r.cfg.Topo.Bandwidth(src, dst)
 	sr.egressFree[src] = start + dur
 	sr.ingressFree[dst] = start + dur
 	r.metrics.NetworkBytes += bytes
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{
+			Kind: trace.KindTransfer, Job: sr.job.Name, Stage: sr.stageName(),
+			Machine: int(src), Dst: int(dst), Part: int(dstPart), Bytes: bytes,
+			Time: now, Start: start, End: start + dur, Stall: start - now,
+			// The receiver's ingress NIC is the binding constraint when it
+			// frees no earlier than the sender's egress — the incast case.
+			Incast: inFree > now && inFree >= egFree,
+		})
+	}
 	sr.inflight++
 	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: bytes})
 }
@@ -366,6 +424,10 @@ func (sr *stageRun) onFailure(e *event) {
 		return
 	}
 	r.dead[m] = true
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindFailure, Job: sr.job.Name, Stage: sr.stageName(),
+			Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
+	}
 	var lost []*Task
 	// Queued tasks are lost.
 	lost = append(lost, sr.queues[m]...)
@@ -380,6 +442,9 @@ func (sr *stageRun) onFailure(e *event) {
 			}
 		}
 		sr.running[m] = 0
+	}
+	for _, t := range lost {
+		sr.emitTask(trace.KindTaskLost, t, m, e.at, 0, 0)
 	}
 	sr.push(&event{
 		at:   e.at + r.cfg.HeartbeatInterval,
@@ -423,11 +488,12 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 								continue
 							}
 						}
-						sr.sendBytes(src, m, out.Bytes, e.at)
+						sr.sendBytes(src, m, out.Bytes, e.at, t.Part)
 					}
 				}
 			}
 		}
+		sr.emitTask(trace.KindRetry, t, m, e.at, 0, 0)
 		sr.queues[m] = append(sr.queues[m], t)
 		sr.startNext(m, e.at)
 	}

@@ -48,6 +48,9 @@ type Options struct {
 	// folded value (Reduce). Zero selects a default matching the
 	// propagation cost constants.
 	ComputePerPair float64
+	// JobName labels the engine job in trace output; empty means
+	// "mapreduce".
+	JobName string
 }
 
 func (o Options) computePerPair() float64 {
@@ -287,7 +290,11 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 		}
 		stages = append([]*engine.Stage{{Name: "dfs-read", Tasks: fetchTasks}}, stages...)
 	}
-	job := &engine.Job{Name: "mapreduce", Stages: stages}
+	jobName := opt.JobName
+	if jobName == "" {
+		jobName = "mapreduce"
+	}
+	job := &engine.Job{Name: jobName, Stages: stages}
 	m, err := r.Run(job)
 	if err != nil {
 		return nil, engine.Metrics{}, err

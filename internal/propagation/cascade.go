@@ -1,6 +1,7 @@
 package propagation
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/engine"
@@ -141,7 +142,7 @@ func partitionDiameter(pg *storage.PartitionedGraph, pi *storage.PartInfo) int {
 func RunIterations[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, iters int) (*State[V], engine.Metrics, error) {
 	var total engine.Metrics
 	for i := 0; i < iters; i++ {
-		next, m, err := Iterate(r, pg, pl, prog, st, opt)
+		next, m, err := iterateNamed(r, pg, pl, prog, st, opt, iterName("propagation", i))
 		if err != nil {
 			return nil, total, err
 		}
@@ -149,6 +150,12 @@ func RunIterations[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *pa
 		st = next
 	}
 	return st, total, nil
+}
+
+// iterName labels one iteration's engine job, so traced multi-iteration
+// runs show each iteration as its own span.
+func iterName(prefix string, i int) string {
+	return fmt.Sprintf("%s-iter-%03d", prefix, i+1)
 }
 
 // RunUntilConverged iterates propagation until the summed per-vertex delta
@@ -159,7 +166,7 @@ func RunIterations[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *pa
 func RunUntilConverged[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, maxIters int, delta func(old, new V) float64, eps float64) (*State[V], engine.Metrics, error) {
 	var total engine.Metrics
 	for i := 0; i < maxIters; i++ {
-		next, m, err := Iterate(r, pg, pl, prog, st, opt)
+		next, m, err := iterateNamed(r, pg, pl, prog, st, opt, iterName("propagation", i))
 		if err != nil {
 			return nil, total, err
 		}
@@ -191,6 +198,7 @@ func RunCascaded[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *part
 		phasePos := i % ci.MinDiameter // 0-based position within the phase
 		ex := newExecution(pg, pl, prog, st, opt)
 		ex.pool = r.Pool()
+		ex.jobName = iterName("cascaded", i)
 		// Iterations at a phase boundary (or the final iteration) must
 		// materialize everything; later in-phase iterations skip I/O for
 		// deep vertices.

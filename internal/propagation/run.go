@@ -42,6 +42,11 @@ func VirtualPartition(v graph.VertexID, p int) partition.PartID {
 // It returns the next state and the iteration's metrics. The runner's clock
 // and cumulative metrics advance.
 func Iterate[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) (*State[V], engine.Metrics, error) {
+	return iterateNamed(r, pg, pl, prog, st, opt, "")
+}
+
+// iterateNamed is Iterate with a job label for trace output.
+func iterateNamed[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, jobName string) (*State[V], engine.Metrics, error) {
 	if len(st.Values) != pg.G.NumVertices() {
 		return nil, engine.Metrics{}, fmt.Errorf("propagation: state has %d values, graph has %d vertices", len(st.Values), pg.G.NumVertices())
 	}
@@ -50,6 +55,7 @@ func Iterate[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partitio
 	}
 	ex := newExecution(pg, pl, prog, st, opt)
 	ex.pool = r.Pool()
+	ex.jobName = jobName
 	ex.transferAll()
 	next := ex.combineAll()
 	job := ex.buildJob()
@@ -100,6 +106,10 @@ type execution[V any] struct {
 	// to the destination bag and accounts its transfer), false leaves it
 	// on the direct partition-to-partition path. Used by tree aggregation.
 	crossHook func(srcPart int, dst graph.VertexID, v V) bool
+	// jobName labels the engine job (and thus every trace event of the
+	// iteration); multi-iteration drivers set per-iteration labels so a
+	// traced run shows "propagation-iter-002" etc. as separate spans.
+	jobName string
 }
 
 func newExecution[V any](pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) *execution[V] {
@@ -391,8 +401,12 @@ func (ex *execution[V]) buildJob() *engine.Job {
 			DiskWrite: ex.stateWrite[i],
 		}
 	}
+	name := ex.jobName
+	if name == "" {
+		name = "propagation-iteration"
+	}
 	return &engine.Job{
-		Name:   "propagation-iteration",
+		Name:   name,
 		Stages: []*engine.Stage{{Name: "transfer", Tasks: transfer}, {Name: "combine", Tasks: combine}},
 	}
 }

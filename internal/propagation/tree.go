@@ -56,6 +56,7 @@ func IterateTree[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *part
 
 	ex := newExecution(pg, pl, prog, st, opt)
 	ex.pool = r.Pool()
+	ex.jobName = opt.jobName
 	// Intercept cross-pod values after local combination: group them per
 	// (sending pod, destination vertex) for the Aggregate stage and track
 	// the partition -> aggregator intra-pod traffic per aggregation task.
@@ -233,8 +234,12 @@ func (ex *execution[V]) buildTreeJob(topo *cluster.Topology, toAggBytes []map[ag
 			DiskWrite: ex.stateWrite[i],
 		}
 	}
+	name := ex.jobName
+	if name == "" {
+		name = "propagation-tree-iteration"
+	}
 	return &engine.Job{
-		Name: "propagation-tree-iteration",
+		Name: name,
 		Stages: []*engine.Stage{
 			{Name: "transfer", Tasks: transfer},
 			{Name: "aggregate", Tasks: stage2},
@@ -257,6 +262,7 @@ func machinesByPod(topo *cluster.Topology) map[int][]cluster.MachineID {
 func RunIterationsTree[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, iters int) (*State[V], engine.Metrics, error) {
 	var total engine.Metrics
 	for i := 0; i < iters; i++ {
+		opt.jobName = iterName("propagation-tree", i)
 		next, m, err := IterateTree(r, pg, pl, prog, st, opt)
 		if err != nil {
 			return nil, total, err

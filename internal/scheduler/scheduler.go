@@ -19,6 +19,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // Policy orders the pending job queue.
@@ -82,6 +83,9 @@ type Config struct {
 	// Workers is forwarded to the engine's compute worker pool
 	// (0 = GOMAXPROCS, 1 = serial; results identical either way).
 	Workers int
+	// Trace is forwarded to the engine: all jobs the scheduler runs emit
+	// their structured events into this recorder. Nil disables tracing.
+	Trace *trace.Recorder
 }
 
 // Scheduler coordinates jobs over one shared simulated cluster.
@@ -114,6 +118,7 @@ func New(cfg Config) *Scheduler {
 			Failures:        cfg.Failures,
 			SlotsPerMachine: cfg.SlotsPerMachine,
 			Workers:         cfg.Workers,
+			Trace:           cfg.Trace,
 		}),
 		served: make(map[string]float64),
 	}

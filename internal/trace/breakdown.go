@@ -1,0 +1,210 @@
+package trace
+
+import "sort"
+
+// Breakdown is the hierarchical metrics view of a trace: per job, per
+// stage, per machine. It is computed from the event stream alone
+// (Summarize), so it is consistent with any exported trace by
+// construction, and — like the stream — identical for every worker count.
+type Breakdown struct {
+	Jobs []*JobBreakdown
+}
+
+// JobBreakdown aggregates one engine job.
+type JobBreakdown struct {
+	Name       string
+	Begin, End float64
+	Stages     []*StageBreakdown
+}
+
+// StageBreakdown aggregates one stage of a job.
+type StageBreakdown struct {
+	Name       string
+	Begin, End float64
+	// Machines holds one entry per machine that did anything in the
+	// stage, sorted by machine ID.
+	Machines []*MachineBreakdown
+}
+
+// MachineBreakdown is the per-machine accounting within one stage (or an
+// aggregate across stages; then Machine may be None).
+type MachineBreakdown struct {
+	Machine int
+	// ComputeSeconds is task busy time (compute + local disk) on the
+	// machine: the sum of task Start..End intervals.
+	ComputeSeconds float64
+	// EgressBusySeconds / IngressBusySeconds are the times the machine's
+	// NICs were occupied by serialized transfers. Because every transfer
+	// occupies exactly one egress and one ingress NIC for its duration,
+	// the cluster-wide sums of the two are equal.
+	EgressBusySeconds  float64
+	IngressBusySeconds float64
+	// EgressBytes / IngressBytes are the bytes sent / received. Each sums
+	// to the engine's Metrics.NetworkBytes across all machines.
+	EgressBytes  int64
+	IngressBytes int64
+	// BytesToPart attributes sent bytes to the destination partition.
+	BytesToPart map[int]int64
+	// StallSeconds is the total NIC queueing delay of transfers this
+	// machine sent; IncastStallSeconds is the share of inbound transfers'
+	// delay where this machine's ingress NIC was the binding constraint
+	// (the incast signature: many senders converging on one receiver).
+	StallSeconds       float64
+	IncastStallSeconds float64
+	// TasksRun / TasksLost / Transfers / Retries count completions,
+	// failure-killed tasks, sent transfers, and re-dispatches.
+	TasksRun  int
+	TasksLost int
+	Transfers int
+	Retries   int
+	// Failed reports the machine died during the stage.
+	Failed bool
+}
+
+// add folds other into m (for cross-stage/cross-job aggregation).
+func (m *MachineBreakdown) add(other *MachineBreakdown) {
+	m.ComputeSeconds += other.ComputeSeconds
+	m.EgressBusySeconds += other.EgressBusySeconds
+	m.IngressBusySeconds += other.IngressBusySeconds
+	m.EgressBytes += other.EgressBytes
+	m.IngressBytes += other.IngressBytes
+	for p, b := range other.BytesToPart {
+		if m.BytesToPart == nil {
+			m.BytesToPart = make(map[int]int64)
+		}
+		m.BytesToPart[p] += b
+	}
+	m.StallSeconds += other.StallSeconds
+	m.IncastStallSeconds += other.IncastStallSeconds
+	m.TasksRun += other.TasksRun
+	m.TasksLost += other.TasksLost
+	m.Transfers += other.Transfers
+	m.Retries += other.Retries
+	m.Failed = m.Failed || other.Failed
+}
+
+// machine finds or creates the stage's breakdown row for machine id.
+func (sb *StageBreakdown) machine(id int) *MachineBreakdown {
+	for _, mb := range sb.Machines {
+		if mb.Machine == id {
+			return mb
+		}
+	}
+	mb := &MachineBreakdown{Machine: id}
+	sb.Machines = append(sb.Machines, mb)
+	return mb
+}
+
+// Summarize folds an event stream into the job → stage → machine hierarchy.
+// Events outside any job or stage context (there are none in engine-emitted
+// streams) are gathered under a synthetic "(untracked)" job/stage.
+func Summarize(events []Event) *Breakdown {
+	b := &Breakdown{}
+	var job *JobBreakdown
+	var stage *StageBreakdown
+	ensure := func() *StageBreakdown {
+		if job == nil {
+			job = &JobBreakdown{Name: "(untracked)"}
+			b.Jobs = append(b.Jobs, job)
+		}
+		if stage == nil {
+			stage = &StageBreakdown{Name: "(untracked)"}
+			job.Stages = append(job.Stages, stage)
+		}
+		return stage
+	}
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindJobBegin:
+			job = &JobBreakdown{Name: ev.Job, Begin: ev.Time, End: ev.Time}
+			stage = nil
+			b.Jobs = append(b.Jobs, job)
+		case KindJobEnd:
+			if job != nil {
+				job.End = ev.Time
+			}
+			stage = nil
+		case KindStageBegin:
+			if job == nil {
+				ensure()
+			}
+			stage = &StageBreakdown{Name: ev.Stage, Begin: ev.Time, End: ev.Time}
+			job.Stages = append(job.Stages, stage)
+		case KindStageEnd:
+			if stage != nil {
+				stage.End = ev.Time
+			}
+			stage = nil
+		case KindTaskEnd:
+			mb := ensure().machine(ev.Machine)
+			mb.ComputeSeconds += ev.End - ev.Start
+			mb.TasksRun++
+		case KindTaskLost:
+			ensure().machine(ev.Machine).TasksLost++
+		case KindTransfer:
+			sb := ensure()
+			src := sb.machine(ev.Machine)
+			dst := sb.machine(ev.Dst)
+			dur := ev.End - ev.Start
+			src.EgressBusySeconds += dur
+			src.EgressBytes += ev.Bytes
+			src.Transfers++
+			src.StallSeconds += ev.Stall
+			if src.BytesToPart == nil {
+				src.BytesToPart = make(map[int]int64)
+			}
+			src.BytesToPart[ev.Part] += ev.Bytes
+			dst.IngressBusySeconds += dur
+			dst.IngressBytes += ev.Bytes
+			if ev.Incast {
+				dst.IncastStallSeconds += ev.Stall
+			}
+		case KindFailure:
+			ensure().machine(ev.Machine).Failed = true
+		case KindRetry:
+			ensure().machine(ev.Machine).Retries++
+		}
+	}
+	for _, jb := range b.Jobs {
+		for _, sb := range jb.Stages {
+			sort.Slice(sb.Machines, func(i, j int) bool {
+				return sb.Machines[i].Machine < sb.Machines[j].Machine
+			})
+		}
+	}
+	return b
+}
+
+// PerMachine aggregates the breakdown across every job and stage into one
+// row per machine, sorted by machine ID.
+func (b *Breakdown) PerMachine() []*MachineBreakdown {
+	byID := make(map[int]*MachineBreakdown)
+	for _, jb := range b.Jobs {
+		for _, sb := range jb.Stages {
+			for _, mb := range sb.Machines {
+				agg, ok := byID[mb.Machine]
+				if !ok {
+					agg = &MachineBreakdown{Machine: mb.Machine}
+					byID[mb.Machine] = agg
+				}
+				agg.add(mb)
+			}
+		}
+	}
+	out := make([]*MachineBreakdown, 0, len(byID))
+	for _, mb := range byID {
+		out = append(out, mb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// Totals aggregates the whole trace into one row (Machine == None).
+func (b *Breakdown) Totals() MachineBreakdown {
+	t := MachineBreakdown{Machine: None}
+	for _, mb := range b.PerMachine() {
+		t.add(mb)
+	}
+	return t
+}

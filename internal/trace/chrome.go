@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: one JSON object in the format accepted by
+// chrome://tracing and Perfetto (legacy JSON importer). The layout puts
+// machines as rows against the virtual clock:
+//
+//   - each machine is a process (pid = machine ID, named "machine-NN")
+//     with three thread lanes: "tasks" (task busy intervals), "egress"
+//     and "ingress" (NIC busy intervals — serialized transfers, so a
+//     lane's intervals never overlap);
+//   - a final "job" process (pid = number of machines) carries the job
+//     and stage-barrier spans;
+//   - failures, lost tasks and retries are instant events on the machine
+//     that suffered them.
+//
+// Times are microseconds of virtual time. The writer emits events in
+// stream order with struct-driven field order and strconv float
+// formatting, so identical event streams produce byte-identical files —
+// the property the determinism tests pin down.
+
+// Thread lane IDs within a machine process.
+const (
+	laneTasks = iota
+	laneEgress
+	laneIngress
+)
+
+// chromeEvent is one trace_event entry. Field order (and therefore output
+// byte layout) is fixed by the struct; optional fields are omitted when
+// empty so instant and metadata events stay minimal.
+type chromeEvent struct {
+	Name  string      `json:"name"`
+	Ph    string      `json:"ph"`
+	Cat   string      `json:"cat,omitempty"`
+	Pid   int         `json:"pid"`
+	Tid   int         `json:"tid"`
+	Ts    float64     `json:"ts"`
+	Dur   *float64    `json:"dur,omitempty"`
+	Scope string      `json:"s,omitempty"`
+	Args  *chromeArgs `json:"args,omitempty"`
+}
+
+// chromeArgs carries the structured payload of an event. Only the fields
+// relevant to the event kind are set.
+type chromeArgs struct {
+	Name    string   `json:"name,omitempty"` // metadata events
+	Part    *int     `json:"part,omitempty"`
+	Bytes   *int64   `json:"bytes,omitempty"`
+	Src     *int     `json:"src,omitempty"`
+	Dst     *int     `json:"dst,omitempty"`
+	StallUs *float64 `json:"stall_us,omitempty"`
+	Incast  bool     `json:"incast,omitempty"`
+	Job     string   `json:"job,omitempty"`
+}
+
+func usec(t float64) float64 { return t * 1e6 }
+
+func ptrF(v float64) *float64 { return &v }
+func ptrI(v int) *int         { return &v }
+func ptrB(v int64) *int64     { return &v }
+
+// WriteChrome writes the event stream as Chrome trace_event JSON. The
+// output is one event per line inside the traceEvents array, so diffs and
+// golden files stay readable.
+func WriteChrome(w io.Writer, events []Event) error {
+	maxMachine := -1
+	note := func(m int) {
+		if m > maxMachine {
+			maxMachine = m
+		}
+	}
+	for i := range events {
+		if events[i].Machine != None {
+			note(events[i].Machine)
+		}
+		if events[i].Dst != None {
+			note(events[i].Dst)
+		}
+	}
+	jobPid := maxMachine + 1
+
+	var out []chromeEvent
+	// Metadata: name every machine process and its lanes, then the job row.
+	for m := 0; m <= maxMachine; m++ {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: m,
+			Args: &chromeArgs{Name: fmt.Sprintf("machine-%02d", m)},
+		})
+		for lane, name := range []string{"tasks", "egress", "ingress"} {
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: m, Tid: lane,
+				Args: &chromeArgs{Name: name},
+			})
+		}
+	}
+	out = append(out,
+		chromeEvent{Name: "process_name", Ph: "M", Pid: jobPid, Args: &chromeArgs{Name: "job"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: jobPid, Tid: 0, Args: &chromeArgs{Name: "jobs"}},
+		chromeEvent{Name: "thread_name", Ph: "M", Pid: jobPid, Tid: 1, Args: &chromeArgs{Name: "stages"}},
+	)
+
+	// Jobs and stages need their end events to compute spans; scan ahead
+	// by pairing each begin with the next matching end in stream order.
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindJobBegin:
+			if end := findEnd(events, i, KindJobEnd); end >= 0 {
+				out = append(out, chromeEvent{
+					Name: ev.Job, Ph: "X", Cat: "job", Pid: jobPid, Tid: 0,
+					Ts: usec(ev.Time), Dur: ptrF(usec(events[end].Time - ev.Time)),
+				})
+			}
+		case KindStageBegin:
+			if end := findEnd(events, i, KindStageEnd); end >= 0 {
+				out = append(out, chromeEvent{
+					Name: ev.Stage, Ph: "X", Cat: "stage", Pid: jobPid, Tid: 1,
+					Ts: usec(ev.Time), Dur: ptrF(usec(events[end].Time - ev.Time)),
+					Args: &chromeArgs{Job: ev.Job},
+				})
+			}
+		case KindTaskEnd:
+			out = append(out, chromeEvent{
+				Name: ev.Name, Ph: "X", Cat: "task", Pid: ev.Machine, Tid: laneTasks,
+				Ts: usec(ev.Start), Dur: ptrF(usec(ev.End - ev.Start)),
+				Args: taskArgs(ev),
+			})
+		case KindTaskLost:
+			out = append(out, chromeEvent{
+				Name: "lost:" + ev.Name, Ph: "i", Cat: "failure",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "t",
+				Args: taskArgs(ev),
+			})
+		case KindTransfer:
+			args := &chromeArgs{
+				Bytes: ptrB(ev.Bytes), Src: ptrI(ev.Machine), Dst: ptrI(ev.Dst),
+				StallUs: ptrF(usec(ev.Stall)), Incast: ev.Incast,
+			}
+			if ev.Part != None {
+				args.Part = ptrI(ev.Part)
+			}
+			dur := ptrF(usec(ev.End - ev.Start))
+			out = append(out,
+				chromeEvent{
+					Name: fmt.Sprintf("send→m%02d", ev.Dst), Ph: "X", Cat: "transfer",
+					Pid: ev.Machine, Tid: laneEgress, Ts: usec(ev.Start), Dur: dur, Args: args,
+				},
+				chromeEvent{
+					Name: fmt.Sprintf("recv←m%02d", ev.Machine), Ph: "X", Cat: "transfer",
+					Pid: ev.Dst, Tid: laneIngress, Ts: usec(ev.Start), Dur: dur, Args: args,
+				})
+		case KindFailure:
+			out = append(out, chromeEvent{
+				Name: "machine-failure", Ph: "i", Cat: "failure",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "p",
+			})
+		case KindRetry:
+			out = append(out, chromeEvent{
+				Name: "retry:" + ev.Name, Ph: "i", Cat: "failure",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "t",
+				Args: taskArgs(ev),
+			})
+		}
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i := range out {
+		line, err := json.Marshal(&out[i])
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}
+
+func taskArgs(ev *Event) *chromeArgs {
+	if ev.Part == None {
+		return nil
+	}
+	return &chromeArgs{Part: ptrI(ev.Part)}
+}
+
+// findEnd locates the matching end event for the begin at index i: the next
+// event of the given kind with the same Job (and Stage for stage ends).
+func findEnd(events []Event, i int, kind EventKind) int {
+	for j := i + 1; j < len(events); j++ {
+		if events[j].Kind != kind {
+			continue
+		}
+		if events[j].Job != events[i].Job {
+			continue
+		}
+		if kind == KindStageEnd && events[j].Stage != events[i].Stage {
+			continue
+		}
+		return j
+	}
+	return -1
+}

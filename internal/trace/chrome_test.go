@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestWriteChromeGolden pins the exporter's exact byte output for the
+// hand-built stream. Run `go test ./internal/trace -update` after an
+// intentional format change.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exporter output differs from %s\ngot:\n%s", golden, buf.String())
+	}
+}
+
+// TestWriteChromeParses checks the output is valid JSON with the structure
+// Chrome's trace viewer expects.
+func TestWriteChromeParses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string   `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  int      `json:"pid"`
+			Tid  int      `json:"tid"`
+			Ts   float64  `json:"ts"`
+			Dur  *float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "X" {
+			if ev.Dur == nil {
+				t.Fatalf("complete event %q without dur", ev.Name)
+			}
+			if *ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("negative timing on %q: ts=%v dur=%v", ev.Name, ev.Ts, *ev.Dur)
+			}
+		}
+	}
+	// handStream: 1 job span + 2 stage spans + 2 task spans + 2 transfers
+	// (2 lanes each) = 9 "X"; failure + lost + retry = 3 "i"; metadata for
+	// 2 machines (1 process + 3 lanes each) + job row (1 + 2) = 11 "M".
+	if counts["X"] != 9 || counts["i"] != 3 || counts["M"] != 11 {
+		t.Fatalf("phase counts = %v, want X:9 i:3 M:11", counts)
+	}
+}
+
+// TestWriteChromeEmpty: an empty stream still yields a parseable file.
+func TestWriteChromeEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var tf map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+}
+
+// TestWriteChromeDeterministic: the same stream marshals to the same bytes.
+func TestWriteChromeDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := WriteChrome(&a, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChrome(&b, handStream()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two exports of the same stream differ")
+	}
+}

@@ -1,0 +1,159 @@
+// Package trace is Surfer's structured observability layer: the engine's
+// discrete-event loop emits one Event per task start/finish, per NIC
+// transfer, per stage barrier and per injected failure/retry into a
+// Recorder. The stream is the ground truth behind the hierarchical metrics
+// breakdown (Summarize) and the Chrome trace_event exporter (WriteChrome),
+// and it inherits the engine's determinism contract: because every event is
+// emitted from the serial event loop, the stream — and therefore the
+// exported JSON — is byte-identical for every compute worker count.
+//
+// Tracing is off by default and free when off: a nil *Recorder is a valid,
+// disabled recorder whose Emit is a nil-check and nothing else (no
+// allocation, pinned by TestDisabledRecorderAllocatesNothing).
+package trace
+
+// EventKind identifies what a trace event describes.
+type EventKind uint8
+
+const (
+	// KindJobBegin / KindJobEnd bracket one engine job (all its stages).
+	KindJobBegin EventKind = iota
+	KindJobEnd
+	// KindStageBegin / KindStageEnd bracket one stage barrier: StageEnd
+	// fires only after every task and every transfer of the stage is done.
+	KindStageBegin
+	KindStageEnd
+	// KindTaskStart marks a task beginning execution on Machine at Start.
+	KindTaskStart
+	// KindTaskEnd marks a task completing on Machine; Start..End is its
+	// busy interval (compute + local disk).
+	KindTaskEnd
+	// KindTaskLost marks a task killed by its machine's failure before
+	// completing; Time is the failure time.
+	KindTaskLost
+	// KindTransfer is one NIC-serialized transfer: Machine -> Dst of Bytes
+	// bytes. Time is when the producing task issued it, Start is when both
+	// NICs became free (Stall = Start - Time is the queueing delay), End is
+	// arrival. Incast reports whether the receiver's ingress NIC — not the
+	// sender's egress — was the binding constraint for the delay.
+	KindTransfer
+	// KindFailure marks a machine death at Time.
+	KindFailure
+	// KindRetry marks a lost task being re-dispatched to Machine (its
+	// failover replica) at Time, after the heartbeat detection latency.
+	KindRetry
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindJobBegin:
+		return "job-begin"
+	case KindJobEnd:
+		return "job-end"
+	case KindStageBegin:
+		return "stage-begin"
+	case KindStageEnd:
+		return "stage-end"
+	case KindTaskStart:
+		return "task-start"
+	case KindTaskEnd:
+		return "task-end"
+	case KindTaskLost:
+		return "task-lost"
+	case KindTransfer:
+		return "transfer"
+	case KindFailure:
+		return "failure"
+	case KindRetry:
+		return "retry"
+	default:
+		return "unknown"
+	}
+}
+
+// None marks an Event integer field as not applicable.
+const None = -1
+
+// Event is one structured observation from the simulation. Unused fields
+// hold zero values (and None for Machine/Dst/Part when not applicable); see
+// docs/METRICS.md for the field-by-field reference.
+type Event struct {
+	Kind EventKind
+	// Job and Stage name the enclosing engine job and stage.
+	Job   string
+	Stage string
+	// Name labels the subject: the task name for task events, empty
+	// otherwise.
+	Name string
+	// Machine is the executing machine (task events), the failed machine
+	// (failure events) or the transfer source. None when not applicable.
+	Machine int
+	// Dst is the transfer destination machine; None otherwise.
+	Dst int
+	// Part is the partition the subject belongs to: the task's partition,
+	// or — for transfers — the partition of the *destination* task, so
+	// cross-partition traffic can be attributed. None for unpinned tasks.
+	Part int
+	// Bytes is the transfer volume; 0 otherwise.
+	Bytes int64
+	// Time is the virtual time the event logically occurred: issue time
+	// for transfers, the clock for begin/end markers, the failure time.
+	Time float64
+	// Start and End bracket the busy interval of tasks and transfers.
+	Start float64
+	End   float64
+	// Stall is a transfer's NIC queueing delay (Start - Time): how long
+	// the bytes waited for the sender's egress and receiver's ingress
+	// serialization.
+	Stall float64
+	// Incast reports that the receiver's ingress NIC was the binding
+	// constraint for Stall — the all-to-all incast signature.
+	Incast bool
+}
+
+// Recorder collects the event stream of one or more runs. The zero value is
+// ready to use; a nil *Recorder is a valid disabled recorder (every method
+// is nil-safe), which is how the engine runs untraced with zero overhead.
+type Recorder struct {
+	events []Event
+}
+
+// NewRecorder returns an enabled recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Enabled reports whether events are being collected.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Emit appends one event to the stream. On a nil (disabled) recorder it is
+// a nil-check and returns immediately, allocating nothing.
+func (r *Recorder) Emit(ev Event) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, ev)
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns the recorded stream in emission order. The slice is the
+// recorder's backing store; callers must not mutate it.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events
+}
+
+// Reset drops all recorded events, keeping the capacity.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+}

@@ -1,0 +1,173 @@
+package trace
+
+import "testing"
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if !r.Enabled() {
+		t.Fatal("NewRecorder not enabled")
+	}
+	if r.Len() != 0 {
+		t.Fatalf("fresh recorder has %d events", r.Len())
+	}
+	r.Emit(Event{Kind: KindJobBegin, Job: "j"})
+	r.Emit(Event{Kind: KindJobEnd, Job: "j", Time: 1})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != KindJobBegin || evs[1].Kind != KindJobEnd {
+		t.Fatalf("events out of order: %v, %v", evs[0].Kind, evs[1].Kind)
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+}
+
+func TestNilRecorderIsDisabled(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Emit(Event{Kind: KindTransfer}) // must not panic
+	r.Reset()                         // must not panic
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder holds events")
+	}
+}
+
+// TestDisabledRecorderAllocatesNothing pins the zero-overhead-when-disabled
+// contract: emitting through a nil recorder performs no allocation, so the
+// engine's untraced hot path stays free.
+func TestDisabledRecorderAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	ev := Event{Kind: KindTransfer, Job: "j", Stage: "s", Machine: 1, Dst: 2, Bytes: 1 << 20}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled Emit allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{KindJobBegin, KindJobEnd, KindStageBegin, KindStageEnd,
+		KindTaskStart, KindTaskEnd, KindTaskLost, KindTransfer, KindFailure, KindRetry}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(250).String() != "unknown" {
+		t.Fatal("out-of-range kind should stringify as unknown")
+	}
+}
+
+// handStream is a two-stage job on two machines with one transfer each way
+// plus a failure/retry pair, exercising every Summarize path.
+func handStream() []Event {
+	return []Event{
+		{Kind: KindJobBegin, Job: "j1", Time: 0},
+		{Kind: KindStageBegin, Job: "j1", Stage: "s1", Time: 0},
+		{Kind: KindTaskStart, Job: "j1", Stage: "s1", Name: "t0", Machine: 0, Part: 0, Time: 0, Start: 0},
+		{Kind: KindTaskEnd, Job: "j1", Stage: "s1", Name: "t0", Machine: 0, Part: 0, Time: 2, Start: 0, End: 2},
+		// m0 -> m1, issued at 2, NICs free immediately: no stall.
+		{Kind: KindTransfer, Job: "j1", Stage: "s1", Machine: 0, Dst: 1, Part: 1, Bytes: 100, Time: 2, Start: 2, End: 3},
+		// m1 -> m0, issued at 2 but delayed to 3 by m0's busy ingress: incast.
+		{Kind: KindTransfer, Job: "j1", Stage: "s1", Machine: 1, Dst: 0, Part: 0, Bytes: 50, Time: 2, Start: 3, End: 3.5, Stall: 1, Incast: true},
+		{Kind: KindStageEnd, Job: "j1", Stage: "s1", Time: 3.5},
+		{Kind: KindStageBegin, Job: "j1", Stage: "s2", Time: 3.5},
+		{Kind: KindFailure, Job: "j1", Stage: "s2", Machine: 1, Time: 4},
+		{Kind: KindTaskLost, Job: "j1", Stage: "s2", Name: "t1", Machine: 1, Part: 1, Time: 4},
+		{Kind: KindRetry, Job: "j1", Stage: "s2", Name: "t1", Machine: 0, Part: 1, Time: 5},
+		{Kind: KindTaskEnd, Job: "j1", Stage: "s2", Name: "t1", Machine: 0, Part: 1, Time: 7, Start: 5, End: 7},
+		{Kind: KindStageEnd, Job: "j1", Stage: "s2", Time: 7},
+		{Kind: KindJobEnd, Job: "j1", Time: 7},
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	b := Summarize(handStream())
+	if len(b.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(b.Jobs))
+	}
+	jb := b.Jobs[0]
+	if jb.Name != "j1" || jb.Begin != 0 || jb.End != 7 {
+		t.Fatalf("job = %q [%v, %v]", jb.Name, jb.Begin, jb.End)
+	}
+	if len(jb.Stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(jb.Stages))
+	}
+	s1 := jb.Stages[0]
+	if s1.Name != "s1" || s1.End != 3.5 {
+		t.Fatalf("stage1 = %q end %v", s1.Name, s1.End)
+	}
+	if len(s1.Machines) != 2 {
+		t.Fatalf("stage1 machines = %d, want 2", len(s1.Machines))
+	}
+	m0, m1 := s1.Machines[0], s1.Machines[1]
+	if m0.Machine != 0 || m1.Machine != 1 {
+		t.Fatalf("machines not sorted: %d, %d", m0.Machine, m1.Machine)
+	}
+	if m0.ComputeSeconds != 2 || m0.TasksRun != 1 {
+		t.Fatalf("m0 compute = %v / %d tasks", m0.ComputeSeconds, m0.TasksRun)
+	}
+	if m0.EgressBytes != 100 || m0.IngressBytes != 50 {
+		t.Fatalf("m0 egress/ingress bytes = %d/%d", m0.EgressBytes, m0.IngressBytes)
+	}
+	if m0.EgressBusySeconds != 1 || m0.IngressBusySeconds != 0.5 {
+		t.Fatalf("m0 NIC busy = %v/%v", m0.EgressBusySeconds, m0.IngressBusySeconds)
+	}
+	if m0.BytesToPart[1] != 100 {
+		t.Fatalf("m0 bytes to part 1 = %d", m0.BytesToPart[1])
+	}
+	if m0.IncastStallSeconds != 1 {
+		t.Fatalf("m0 incast stall = %v, want 1 (it was the congested receiver)", m0.IncastStallSeconds)
+	}
+	if m1.StallSeconds != 1 {
+		t.Fatalf("m1 stall = %v, want 1 (its transfer queued)", m1.StallSeconds)
+	}
+	s2 := jb.Stages[1]
+	fm := s2.machine(1)
+	if !fm.Failed || fm.TasksLost != 1 {
+		t.Fatalf("machine 1 in s2: failed=%v lost=%d", fm.Failed, fm.TasksLost)
+	}
+	if s2.machine(0).Retries != 1 {
+		t.Fatalf("machine 0 retries = %d", s2.machine(0).Retries)
+	}
+
+	// Cross-stage aggregation and cluster-wide invariants.
+	per := b.PerMachine()
+	if len(per) != 2 {
+		t.Fatalf("PerMachine rows = %d", len(per))
+	}
+	if per[0].TasksRun != 2 {
+		t.Fatalf("m0 total tasks = %d, want 2", per[0].TasksRun)
+	}
+	tot := b.Totals()
+	if tot.EgressBytes != tot.IngressBytes {
+		t.Fatalf("cluster egress %d != ingress %d", tot.EgressBytes, tot.IngressBytes)
+	}
+	if tot.EgressBusySeconds != tot.IngressBusySeconds {
+		t.Fatalf("cluster egress busy %v != ingress busy %v", tot.EgressBusySeconds, tot.IngressBusySeconds)
+	}
+	if tot.EgressBytes != 150 {
+		t.Fatalf("total bytes = %d, want 150", tot.EgressBytes)
+	}
+}
+
+func TestSummarizeUntracked(t *testing.T) {
+	b := Summarize([]Event{
+		{Kind: KindTaskEnd, Machine: 3, Start: 0, End: 1},
+	})
+	if len(b.Jobs) != 1 || b.Jobs[0].Name != "(untracked)" {
+		t.Fatalf("untracked events not gathered: %+v", b.Jobs)
+	}
+}

@@ -33,6 +33,8 @@
 package surfer
 
 import (
+	"io"
+
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -42,6 +44,7 @@ import (
 	"repro/internal/propagation"
 	"repro/internal/scheduler"
 	"repro/internal/storage"
+	"repro/internal/trace"
 )
 
 // ---------------------------------------------------------------- graphs
@@ -161,6 +164,38 @@ type Metrics = engine.Metrics
 // Failure schedules a machine death for fault-tolerance experiments.
 type Failure = engine.Failure
 
+// --------------------------------------------------------------- tracing
+
+// TraceRecorder collects the structured event stream of traced runs. A nil
+// recorder is valid and disables tracing at zero cost; set one on
+// Config.Trace (or SchedulerConfig.Trace / bench.Scale.Trace) to record.
+// The stream is identical for every Workers value — see docs/METRICS.md.
+type TraceRecorder = trace.Recorder
+
+// TraceEvent is one structured simulation event: a task, transfer, stage
+// barrier, failure or retry, stamped with virtual times.
+type TraceEvent = trace.Event
+
+// TraceEventKind discriminates TraceEvent records.
+type TraceEventKind = trace.EventKind
+
+// TraceBreakdown is the hierarchical job → stage → machine metrics
+// breakdown computed from an event stream.
+type TraceBreakdown = trace.Breakdown
+
+// NewTraceRecorder creates an enabled trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// WriteChromeTrace exports events in Chrome trace_event JSON format
+// (chrome://tracing, Perfetto): machines as processes, task/egress/ingress
+// lanes as threads, the virtual clock as the time axis.
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error { return trace.WriteChrome(w, events) }
+
+// SummarizeTrace folds an event stream into the per-job, per-stage,
+// per-machine breakdown (compute seconds, NIC busy time, bytes by
+// destination partition, incast stalls).
+func SummarizeTrace(events []TraceEvent) *TraceBreakdown { return trace.Summarize(events) }
+
 // ----------------------------------------------------------- propagation
 
 // Program is a propagation application: transfer and combine user-defined
@@ -253,13 +288,15 @@ const (
 
 // NewScheduler creates a job scheduler over a system's cluster. The
 // scheduler's runner inherits the system's Workers setting, so compute
-// parallelism follows the deployment configuration.
+// parallelism follows the deployment configuration, and its trace recorder
+// (Config.Trace), so scheduled jobs appear in the same timeline.
 func NewScheduler(sys *System, policy scheduler.Policy) *Scheduler {
 	return scheduler.New(scheduler.Config{
 		Topo:     sys.Topology,
 		Replicas: sys.Replicas,
 		Policy:   policy,
 		Workers:  sys.Workers(),
+		Trace:    sys.Trace(),
 	})
 }
 
