@@ -11,6 +11,11 @@ set -eux
 test -z "$(gofmt -l .)"
 go vet ./...
 go build ./...
+# Fast fault-model gate: failover, transient faults, retry/backoff,
+# speculation, checkpoint rollback and the chaos soak (short mode) under
+# the race detector, before the full suite. TestNilScheduleHotPathAllocatesNothing
+# pins that the fault-free hot path stays allocation-free.
+go test -race -short -run 'Fault|Chaos' . ./internal/...
 go test -race ./...
 
 smoke=$(mktemp -d)

@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/trace"
 )
 
@@ -34,6 +36,7 @@ func main() {
 		parallelOut = flag.String("parallel-out", "BENCH_parallel.json", "output file for the parallel experiment")
 		appsDir     = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated run to this file")
+		faultsPath  = flag.String("faults", "", "JSON fault-schedule file (kills, degraded links, drop windows, slowdowns) injected into every simulated run")
 	)
 	flag.Parse()
 
@@ -42,6 +45,19 @@ func main() {
 		rec = trace.NewRecorder()
 	}
 	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers, Trace: rec}
+	if *faultsPath != "" {
+		ff, err := fault.Load(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s.Faults = ff.Schedule()
+		for _, k := range ff.KillList() {
+			s.Failures = append(s.Failures, engine.Failure{Machine: k.Machine, At: k.At})
+		}
+		if err := s.Faults.Validate(*machines); err != nil {
+			log.Fatal(err)
+		}
+	}
 	dir := *appsDir
 	if dir == "" {
 		dir = bench.FindAppsDir("internal/apps", "../internal/apps", "../../internal/apps")

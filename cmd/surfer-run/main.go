@@ -13,11 +13,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/bench"
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
@@ -39,8 +41,15 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed")
 		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
+		failSpec  = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3; failed partitions fail over to replicas")
+		heartbeat = flag.Float64("heartbeat", 0, "failure-detection latency in virtual seconds (0 = engine default, 1s)")
 	)
 	flag.Parse()
+
+	failures, err := parseFailures(*failSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	g, err := graph.Load(*graphPath)
 	if err != nil {
@@ -72,11 +81,20 @@ func main() {
 	if *traceOut != "" {
 		rec = trace.NewRecorder()
 	}
-	s := bench.Scale{Vertices: g.NumVertices(), Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers, Trace: rec}
+	s := bench.Scale{
+		Vertices: g.NumVertices(), Levels: *levels, Machines: *machines,
+		Seed: *seed, Workers: *workers, Trace: rec,
+		Failures: failures, Heartbeat: *heartbeat,
+	}
+	placeBA := partition.SketchPlacement(sk, topo)
 	d := &bench.Deployment{
 		Scale: s, Graph: g, PG: pg, Sk: sk, Topo: topo,
-		PlacePM: partition.RandomPlacement(pt.P, topo, *seed),
-		PlaceBA: partition.SketchPlacement(sk, topo),
+		PlacePM:  partition.RandomPlacement(pt.P, topo, *seed),
+		PlaceBA:  placeBA,
+		Replicas: storage.PlaceReplicas(placeBA, topo, *seed),
+	}
+	if err := engine.ValidateFailures(failures, topo, d.Replicas); err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("graph: %d vertices, %d edges; cluster: %s; app: %s (%d iteration(s))\n",
@@ -106,6 +124,32 @@ func main() {
 		}
 		fmt.Printf("trace:              %s (%d events)\n", *traceOut, rec.Len())
 	}
+}
+
+// parseFailures decodes the -fail flag: a comma-separated list of
+// machine@time entries, each scheduling a permanent machine death at a
+// virtual time.
+func parseFailures(spec string) ([]engine.Failure, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []engine.Failure
+	for _, entry := range strings.Split(spec, ",") {
+		mStr, tStr, ok := strings.Cut(strings.TrimSpace(entry), "@")
+		if !ok {
+			return nil, fmt.Errorf("bad -fail entry %q (want machine@time, e.g. 2@1.5)", entry)
+		}
+		m, err := strconv.Atoi(mStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad machine in -fail entry %q: %v", entry, err)
+		}
+		at, err := strconv.ParseFloat(tStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad time in -fail entry %q: %v", entry, err)
+		}
+		out = append(out, engine.Failure{Machine: cluster.MachineID(m), At: at})
+	}
+	return out, nil
 }
 
 func writeTrace(path string, rec *trace.Recorder) error {

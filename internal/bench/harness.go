@@ -14,6 +14,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/propagation"
@@ -42,6 +43,16 @@ type Scale struct {
 	// run built from this scale. The stream is identical for every
 	// Workers value.
 	Trace *trace.Recorder
+	// Failures schedules machine deaths for every runner built from this
+	// scale (Figure 10); Heartbeat is the failure-detection latency
+	// (0 = engine default, 1s).
+	Failures  []engine.Failure
+	Heartbeat float64
+	// Faults injects transient faults (degraded or blackholed links,
+	// machine slowdowns); Retry and Speculation tune the recovery policies.
+	Faults      *fault.Schedule
+	Retry       fault.RetryPolicy
+	Speculation fault.SpeculationPolicy
 }
 
 // DefaultScale is the full benchmark scale.
@@ -103,6 +114,10 @@ type Deployment struct {
 	// sketch-guided one.
 	PlacePM *partition.Placement
 	PlaceBA *partition.Placement
+	// Replicas is the three-way replica layout over the sketch-guided
+	// placement: the failover targets for machine deaths and the backup
+	// hosts for speculative re-execution.
+	Replicas *storage.Replicas
 }
 
 // NewDeployment partitions the scale's graph once and derives both
@@ -120,15 +135,24 @@ func NewDeploymentFor(s Scale, topo *cluster.Topology, g *graph.Graph) (*Deploym
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{
-		Scale:   s,
-		Graph:   g,
-		PG:      pg,
-		Sk:      sk,
-		Topo:    topo,
-		PlacePM: partition.RandomPlacement(pt.P, topo, s.Seed),
-		PlaceBA: partition.SketchPlacement(sk, topo),
-	}, nil
+	placeBA := partition.SketchPlacement(sk, topo)
+	d := &Deployment{
+		Scale:    s,
+		Graph:    g,
+		PG:       pg,
+		Sk:       sk,
+		Topo:     topo,
+		PlacePM:  partition.RandomPlacement(pt.P, topo, s.Seed),
+		PlaceBA:  placeBA,
+		Replicas: storage.PlaceReplicas(placeBA, topo, s.Seed),
+	}
+	if err := engine.ValidateFailures(s.Failures, topo, d.Replicas); err != nil {
+		return nil, err
+	}
+	if err := s.Faults.Validate(topo.NumMachines()); err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // Placement returns the placement an optimization level uses.
@@ -151,7 +175,17 @@ func (d *Deployment) Options(o OptLevel) propagation.Options {
 // The scale's trace recorder (if any) is shared across runners, so one
 // recorder collects a whole experiment sweep.
 func (d *Deployment) Runner() *engine.Runner {
-	return engine.New(engine.Config{Topo: d.Topo, Workers: d.Scale.Workers, Trace: d.Scale.Trace})
+	return engine.New(engine.Config{
+		Topo:              d.Topo,
+		Workers:           d.Scale.Workers,
+		Trace:             d.Scale.Trace,
+		Replicas:          d.Replicas,
+		Failures:          d.Scale.Failures,
+		HeartbeatInterval: d.Scale.Heartbeat,
+		Faults:            d.Scale.Faults,
+		Retry:             d.Scale.Retry,
+		Speculation:       d.Scale.Speculation,
+	})
 }
 
 // RunApp executes one application at one optimization level.

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
 	"repro/internal/partition"
@@ -77,6 +78,15 @@ type Config struct {
 	// it with trace.WriteChrome or fold it with trace.Summarize. Nil (the
 	// default) disables tracing at zero cost.
 	Trace *trace.Recorder
+	// Faults injects transient faults (degraded links, dropped transfers,
+	// machine slowdowns) into runners created by NewRunner. Nil disables
+	// them at zero cost; the schedule is validated at Build time.
+	Faults *fault.Schedule
+	// Retry governs dropped-transfer detection and backoff; the zero value
+	// selects the defaults.
+	Retry fault.RetryPolicy
+	// Speculation enables backup tasks for stragglers.
+	Speculation fault.SpeculationPolicy
 }
 
 // System is a fully assembled Surfer deployment: partitioned, placed and
@@ -137,6 +147,14 @@ func Build(cfg Config) (*System, error) {
 		return nil, err
 	}
 	sys.Replicas = storage.PlaceReplicas(sys.Placement, cfg.Topology, cfg.Seed)
+	// Fail fast on malformed fault plans: a bad kill schedule or fault
+	// window should be a Build error, not a mid-run hang.
+	if err := engine.ValidateFailures(cfg.Failures, cfg.Topology, sys.Replicas); err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Validate(cfg.Topology.NumMachines()); err != nil {
+		return nil, err
+	}
 	return sys, nil
 }
 
@@ -151,6 +169,9 @@ func (s *System) NewRunner() *engine.Runner {
 		HeartbeatInterval: s.cfg.HeartbeatInterval,
 		Workers:           s.cfg.Workers,
 		Trace:             s.cfg.Trace,
+		Faults:            s.cfg.Faults,
+		Retry:             s.cfg.Retry,
+		Speculation:       s.cfg.Speculation,
 	})
 }
 
@@ -159,6 +180,18 @@ func (s *System) Trace() *trace.Recorder { return s.cfg.Trace }
 
 // Workers reports the configured compute worker count (0 = GOMAXPROCS).
 func (s *System) Workers() int { return s.cfg.Workers }
+
+// Failures reports the configured machine-death plan.
+func (s *System) Failures() []engine.Failure { return s.cfg.Failures }
+
+// Faults reports the configured transient-fault schedule (nil when unset).
+func (s *System) Faults() *fault.Schedule { return s.cfg.Faults }
+
+// Retry reports the configured dropped-transfer retry policy.
+func (s *System) Retry() fault.RetryPolicy { return s.cfg.Retry }
+
+// Speculation reports the configured speculative-execution policy.
+func (s *System) Speculation() fault.SpeculationPolicy { return s.cfg.Speculation }
 
 // PartitioningTime estimates the elapsed time of the distributed
 // partitioning run itself under the given cost model (Table 1). It returns
@@ -189,6 +222,17 @@ func RunPropagation[V any](s *System, r *engine.Runner, prog propagation.Program
 func RunCascaded[V any](s *System, r *engine.Runner, prog propagation.Program[V], iters int, opt propagation.Options) (*propagation.State[V], engine.Metrics, error) {
 	st := propagation.NewState[V](s.PG, prog)
 	return propagation.RunCascaded(r, s.PG, s.Placement, prog, st, opt, iters, nil)
+}
+
+// RunCheckpointed is RunPropagation with iteration checkpointing: state is
+// persisted to replicas every ckpt.Interval iterations, and a machine death
+// replays at most that many iterations instead of the whole run.
+func RunCheckpointed[V any](s *System, r *engine.Runner, prog propagation.Program[V], iters int, opt propagation.Options, ckpt propagation.CheckpointConfig) (*propagation.State[V], engine.Metrics, error) {
+	if ckpt.Interval > 0 && ckpt.Replicas == nil {
+		ckpt.Replicas = s.Replicas
+	}
+	st := propagation.NewState[V](s.PG, prog)
+	return propagation.RunCheckpointed(r, s.PG, s.Placement, prog, st, opt, iters, ckpt)
 }
 
 // RunMapReduce executes a MapReduce program once.

@@ -3,8 +3,10 @@ package engine
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/partition"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -43,6 +45,17 @@ type Config struct {
 	// zero cost. Every event is emitted from the serial event loop, so the
 	// stream is identical for every Workers value (see docs/METRICS.md).
 	Trace *trace.Recorder
+	// Faults injects transient faults — degraded links, dropped
+	// transfers, machine slowdowns — replayed deterministically from the
+	// serial event loop. Nil means no transient faults, at zero cost.
+	Faults *fault.Schedule
+	// Retry governs dropped-transfer detection and exponential backoff.
+	// The zero value selects the defaults (1s timeout, 0.25s backoff
+	// doubling to an 8s cap, unlimited attempts).
+	Retry fault.RetryPolicy
+	// Speculation enables MapReduce-style backup tasks for stragglers.
+	// Requires Replicas (backups run on replica holders).
+	Speculation fault.SpeculationPolicy
 }
 
 // Runner executes jobs on the simulated cluster. A Runner carries its
@@ -64,6 +77,11 @@ type Runner struct {
 	// tr receives structured trace events; nil means tracing is disabled
 	// and every emission site reduces to a nil check.
 	tr *trace.Recorder
+	// faults is the transient-fault schedule (nil = fault-free: every
+	// query is a nil check), retry and spec the defaulted policies.
+	faults *fault.Schedule
+	retry  fault.RetryPolicy
+	spec   fault.SpeculationPolicy
 }
 
 // New creates a Runner.
@@ -74,7 +92,13 @@ func New(cfg Config) *Runner {
 	if cfg.SlotsPerMachine <= 0 {
 		cfg.SlotsPerMachine = 1
 	}
-	r := &Runner{cfg: cfg, pool: NewPool(cfg.Workers), tr: cfg.Trace, dead: make(map[cluster.MachineID]bool)}
+	r := &Runner{
+		cfg: cfg, pool: NewPool(cfg.Workers), tr: cfg.Trace,
+		dead:   make(map[cluster.MachineID]bool),
+		faults: cfg.Faults,
+		retry:  cfg.Retry.WithDefaults(),
+		spec:   cfg.Speculation.WithDefaults(),
+	}
 	r.failures = append(r.failures, cfg.Failures...)
 	sortFailures(r.failures)
 	return r
@@ -117,6 +141,76 @@ func (r *Runner) NumMachines() int { return r.cfg.Topo.NumMachines() }
 // tracking by the job scheduler (§3).
 func (r *Runner) IsDead(m cluster.MachineID) bool { return r.dead[m] }
 
+// Deaths reports how many machines have died so far. Multi-iteration
+// drivers use the delta across an iteration to detect that state stored on
+// a now-dead machine was lost and a checkpoint rollback is needed.
+func (r *Runner) Deaths() int { return len(r.dead) }
+
+// NoteCheckpoint records a committed iteration checkpoint on the runner's
+// metrics and trace stream. The checkpoint's I/O cost is charged by the
+// checkpoint job itself; this marks the commit point.
+func (r *Runner) NoteCheckpoint(job string, bytes int64) {
+	r.metrics.Checkpoints++
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindCheckpoint, Job: job,
+			Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Bytes: bytes, Time: r.clock})
+	}
+}
+
+// NoteRestore records a checkpoint rollback (a machine death invalidated
+// iterations since the last checkpoint).
+func (r *Runner) NoteRestore(job string, bytes int64) {
+	r.metrics.Restores++
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{Kind: trace.KindRestore, Job: job,
+			Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Bytes: bytes, Time: r.clock})
+	}
+}
+
+// ValidateFailures rejects malformed failure plans at build time instead of
+// letting them panic or hang mid-run: negative times, unknown or duplicate
+// machines, failures without replicas to fail over to, and kill sets that
+// destroy every replica of some partition.
+func ValidateFailures(fs []Failure, topo *cluster.Topology, reps *storage.Replicas) error {
+	if len(fs) == 0 {
+		return nil
+	}
+	killed := make(map[cluster.MachineID]bool, len(fs))
+	for i, f := range fs {
+		if f.At < 0 {
+			return fmt.Errorf("engine: failure %d kills machine %d at negative time %g", i, f.Machine, f.At)
+		}
+		if int(f.Machine) < 0 || int(f.Machine) >= topo.NumMachines() {
+			return fmt.Errorf("engine: failure %d kills machine %d outside [0,%d)", i, f.Machine, topo.NumMachines())
+		}
+		if killed[f.Machine] {
+			return fmt.Errorf("engine: duplicate failure for machine %d", f.Machine)
+		}
+		killed[f.Machine] = true
+	}
+	if len(killed) >= topo.NumMachines() {
+		return fmt.Errorf("engine: failure plan kills all %d machines", topo.NumMachines())
+	}
+	if reps == nil {
+		return fmt.Errorf("engine: %d failure(s) configured but no replicas to fail over to", len(fs))
+	}
+	for p, ms := range reps.Machines {
+		alive := false
+		for _, m := range ms {
+			if !killed[m] {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			return fmt.Errorf("engine: failure plan kills every replica of partition %d (machines %v)", p, ms)
+		}
+	}
+	return nil
+}
+
 // Topology exposes the simulated cluster the runner executes on.
 func (r *Runner) Topology() *cluster.Topology { return r.cfg.Topo }
 
@@ -126,7 +220,19 @@ const (
 	evTransferDone
 	evFailure
 	evRecovery
+	// evTransferRetry re-issues a dropped transfer after its backoff.
+	evTransferRetry
 )
+
+// pendingTransfer is the retry state machine of one logical transfer: the
+// same record is re-dispatched until an attempt succeeds, carrying the
+// attempt count that drives the exponential backoff.
+type pendingTransfer struct {
+	src, dst cluster.MachineID
+	bytes    int64
+	part     partition.PartID
+	attempt  int
+}
 
 type event struct {
 	at   float64
@@ -135,8 +241,13 @@ type event struct {
 	// task events
 	task    *Task
 	machine cluster.MachineID
+	// start and dur record the task attempt's actual start time and
+	// duration (slowdown-adjusted), so accounting never has to re-derive
+	// them from fault-dependent state.
+	start, dur float64
 	// transfer events
-	bytes int64
+	bytes    int64
+	transfer *pendingTransfer
 	// failure events
 	failMachine cluster.MachineID
 	lost        []*Task
@@ -180,7 +291,24 @@ type stageRun struct {
 	// taskMachine records where each task actually ran (keyed by task
 	// pointer), for input re-transfer on recovery.
 	taskMachine map[*Task]cluster.MachineID
-	end         float64
+	// committed marks tasks whose first completed copy already committed
+	// its results; later copies (speculative backups, stale completions)
+	// burn machine time but change nothing — first completion wins, and
+	// because commitment happens in the serial event loop the committed
+	// results are identical in task order for every worker count.
+	committed map[*Task]bool
+	// copies counts the currently running copies of each task (original
+	// plus speculative backups).
+	copies map[*Task]int
+	// speculated marks tasks that already received a backup copy, so the
+	// straggler rule fires at most once per task.
+	speculated map[*Task]bool
+	// doneDurs collects committed task durations for the median the
+	// speculation policy compares stragglers against.
+	doneDurs []float64
+	end      float64
+	// err aborts the event loop (e.g. a transfer exhausted its retries).
+	err error
 }
 
 // Run executes the job, advancing the runner's clock, and returns the
@@ -222,6 +350,11 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 	m.DiskBytes -= before.DiskBytes
 	m.TasksRun -= before.TasksRun
 	m.Recoveries -= before.Recoveries
+	m.TransferDrops -= before.TransferDrops
+	m.TransferRetries -= before.TransferRetries
+	m.Speculations -= before.Speculations
+	m.Checkpoints -= before.Checkpoints
+	m.Restores -= before.Restores
 	return m, nil
 }
 
@@ -234,6 +367,9 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 		egressFree:  make(map[cluster.MachineID]float64),
 		ingressFree: make(map[cluster.MachineID]float64),
 		taskMachine: make(map[*Task]cluster.MachineID),
+		committed:   make(map[*Task]bool),
+		copies:      make(map[*Task]int),
+		speculated:  make(map[*Task]bool),
 		remaining:   len(stage.Tasks),
 		end:         r.clock,
 	}
@@ -287,6 +423,11 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 			sr.onFailure(e)
 		case evRecovery:
 			sr.onRecovery(e, prev)
+		case evTransferRetry:
+			sr.onTransferRetry(e)
+		}
+		if sr.err != nil {
+			return nil, sr.err
 		}
 	}
 	r.clock = sr.end
@@ -331,11 +472,18 @@ func (sr *stageRun) startNext(m cluster.MachineID, now float64) {
 		}
 		t := q[0]
 		sr.queues[m] = q[1:]
+		if sr.committed[t] {
+			// A queued backup whose original already finished: drop it.
+			continue
+		}
 		sr.running[m]++
-		dur := sr.r.taskDuration(t)
+		sr.copies[t]++
+		// Stragglers: a machine slowed by a transient fault stretches
+		// every task that starts during the slowdown window.
+		dur := sr.r.taskDuration(t) * sr.r.faults.SlowdownFactor(m, now)
 		sr.r.timeline.record(now, t.DiskRead)
 		sr.emitTask(trace.KindTaskStart, t, m, now, now, 0)
-		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m})
+		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m, start: now, dur: dur})
 	}
 }
 
@@ -351,15 +499,24 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 		return
 	}
 	t := e.task
-	r.metrics.MachineSeconds += r.taskDuration(t)
+	r.metrics.MachineSeconds += e.dur
 	r.metrics.DiskBytes += t.DiskRead + t.DiskWrite
 	r.metrics.TasksRun++
-	sr.emitTask(trace.KindTaskEnd, t, e.machine, e.at, e.at-r.taskDuration(t), e.at)
-	r.noteTaskDone(e.machine, e.at, r.taskDuration(t), r.progressTotal)
+	sr.emitTask(trace.KindTaskEnd, t, e.machine, e.at, e.start, e.at)
+	r.noteTaskDone(e.machine, e.at, e.dur, r.progressTotal)
 	r.timeline.record(e.at, t.DiskWrite)
+	sr.running[e.machine]--
+	sr.copies[t]--
+	if sr.committed[t] {
+		// A speculative duplicate losing the race: its work is charged
+		// above, but the first completion already committed the results.
+		sr.startNext(e.machine, e.at)
+		return
+	}
+	sr.committed[t] = true
 	sr.taskMachine[t] = e.machine
 	sr.remaining--
-	sr.running[e.machine]--
+	sr.doneDurs = append(sr.doneDurs, e.dur)
 	// Launch output transfers toward next-stage task machines.
 	if len(t.Outputs) > 0 {
 		next := sr.job.Stages[sr.stageIdx+1]
@@ -375,6 +532,84 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 		}
 	}
 	sr.startNext(e.machine, e.at)
+	sr.maybeSpeculate(e.at)
+}
+
+// maybeSpeculate is the job manager's straggler check (Appendix B records
+// per-task progress; MapReduce-style backup tasks act on it): once enough
+// of the stage has committed to trust the median task duration, every
+// still-running task projected to overrun Factor × median gets one backup
+// copy on a live replica holder of its partition. The first completed copy
+// commits; the loop stays serial, so speculation preserves determinism.
+func (sr *stageRun) maybeSpeculate(now float64) {
+	r := sr.r
+	if !r.spec.Enabled || r.cfg.Replicas == nil {
+		return
+	}
+	total := len(sr.job.Stages[sr.stageIdx].Tasks)
+	median := medianOf(sr.doneDurs)
+	// Collect stragglers first: launching backups pushes events, and the
+	// heap must not be mutated while scanned.
+	type straggler struct {
+		t       *Task
+		machine cluster.MachineID
+	}
+	var found []straggler
+	for _, ev := range sr.events {
+		if ev.kind != evTaskDone || sr.committed[ev.task] || sr.speculated[ev.task] {
+			continue
+		}
+		if r.dead[ev.machine] || ev.task.Part == NoPart {
+			continue
+		}
+		if r.spec.IsStraggler(ev.dur, median, len(sr.doneDurs), total) {
+			found = append(found, straggler{t: ev.task, machine: ev.machine})
+		}
+	}
+	// Deterministic launch order: the heap slice layout is deterministic,
+	// but sort by task name anyway so the order is obvious, not incidental.
+	sort.Slice(found, func(i, j int) bool { return found[i].t.Name < found[j].t.Name })
+	for _, s := range found {
+		backup := r.backupMachine(s.t, s.machine)
+		if backup < 0 {
+			continue
+		}
+		sr.speculated[s.t] = true
+		r.metrics.Speculations++
+		if r.tr != nil {
+			r.tr.Emit(trace.Event{Kind: trace.KindSpeculate, Job: sr.job.Name,
+				Stage: sr.stageName(), Name: s.t.Name, Machine: int(backup),
+				Dst: trace.None, Part: int(s.t.Part), Time: now})
+		}
+		sr.queues[backup] = append(sr.queues[backup], s.t)
+		sr.startNext(backup, now)
+	}
+}
+
+// backupMachine picks the first live replica holder of the task's partition
+// that is not the machine already running it, or -1 when none exists.
+func (r *Runner) backupMachine(t *Task, running cluster.MachineID) cluster.MachineID {
+	for _, m := range r.cfg.Replicas.Machines[t.Part] {
+		if m != running && !r.dead[m] {
+			return m
+		}
+	}
+	return -1
+}
+
+// medianOf returns the median of a non-empty sample (0 when empty). The
+// sample is copied; the caller's order is preserved.
+func medianOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // sendBytes schedules a transfer from src to dst, serializing with earlier
@@ -388,8 +623,17 @@ func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float
 	if src == dst {
 		return
 	}
+	sr.inflight++
+	sr.dispatch(&pendingTransfer{src: src, dst: dst, bytes: bytes, part: dstPart}, now)
+}
+
+// dispatch issues one attempt of a (possibly retried) transfer at time now.
+// A blackholed attempt holds both NICs until the sender's timeout, then
+// schedules a backoff retry; a successful attempt occupies the NICs for
+// bytes / (bandwidth ÷ degradation factor) seconds and delivers the bytes.
+func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 	r := sr.r
-	egFree, inFree := sr.egressFree[src], sr.ingressFree[dst]
+	egFree, inFree := sr.egressFree[ts.src], sr.ingressFree[ts.dst]
 	start := now
 	if egFree > start {
 		start = egFree
@@ -397,22 +641,63 @@ func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float
 	if inFree > start {
 		start = inFree
 	}
-	dur := float64(bytes) / r.cfg.Topo.Bandwidth(src, dst)
-	sr.egressFree[src] = start + dur
-	sr.ingressFree[dst] = start + dur
-	r.metrics.NetworkBytes += bytes
+	if r.faults.DropsTransfer(ts.src, ts.dst, start) {
+		// The attempt makes no progress, but the sender cannot know that
+		// until its timeout fires: both NICs stay held until detection.
+		detect := start + r.retry.Timeout
+		sr.egressFree[ts.src] = detect
+		sr.ingressFree[ts.dst] = detect
+		ts.attempt++
+		r.metrics.TransferDrops++
+		if r.tr != nil {
+			r.tr.Emit(trace.Event{
+				Kind: trace.KindTransferDrop, Job: sr.job.Name, Stage: sr.stageName(),
+				Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
+				Time: now, Start: start, End: detect, Attempt: ts.attempt,
+			})
+		}
+		if r.retry.MaxAttempts > 0 && ts.attempt >= r.retry.MaxAttempts {
+			sr.err = fmt.Errorf("engine: transfer %d→%d (%d bytes) dropped %d times; retry budget exhausted",
+				ts.src, ts.dst, ts.bytes, ts.attempt)
+			return
+		}
+		sr.push(&event{at: detect + r.retry.BackoffAt(ts.attempt), kind: evTransferRetry, transfer: ts})
+		return
+	}
+	factor := r.faults.LinkFactor(ts.src, ts.dst, start)
+	dur := float64(ts.bytes) * factor / r.cfg.Topo.Bandwidth(ts.src, ts.dst)
+	sr.egressFree[ts.src] = start + dur
+	sr.ingressFree[ts.dst] = start + dur
+	// Only delivered bytes count as network I/O; dropped attempts moved
+	// nothing.
+	r.metrics.NetworkBytes += ts.bytes
 	if r.tr != nil {
 		r.tr.Emit(trace.Event{
 			Kind: trace.KindTransfer, Job: sr.job.Name, Stage: sr.stageName(),
-			Machine: int(src), Dst: int(dst), Part: int(dstPart), Bytes: bytes,
+			Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
 			Time: now, Start: start, End: start + dur, Stall: start - now,
 			// The receiver's ingress NIC is the binding constraint when it
 			// frees no earlier than the sender's egress — the incast case.
-			Incast: inFree > now && inFree >= egFree,
+			Incast:  inFree > now && inFree >= egFree,
+			Attempt: ts.attempt, Degraded: factor > 1,
 		})
 	}
-	sr.inflight++
-	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: bytes})
+	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: ts.bytes})
+}
+
+// onTransferRetry re-issues a dropped transfer once its backoff elapses.
+func (sr *stageRun) onTransferRetry(e *event) {
+	r := sr.r
+	ts := e.transfer
+	r.metrics.TransferRetries++
+	if r.tr != nil {
+		r.tr.Emit(trace.Event{
+			Kind: trace.KindTransferRetry, Job: sr.job.Name, Stage: sr.stageName(),
+			Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part),
+			Time: e.at, Attempt: ts.attempt,
+		})
+	}
+	sr.dispatch(ts, e.at)
 }
 
 // onFailure marks the machine dead, collects its lost work and schedules the
@@ -429,16 +714,25 @@ func (sr *stageRun) onFailure(e *event) {
 			Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
 	}
 	var lost []*Task
-	// Queued tasks are lost.
-	lost = append(lost, sr.queues[m]...)
+	// Queued tasks are lost — unless another copy is committed or still
+	// running elsewhere (a queued speculative backup loses nothing).
+	for _, t := range sr.queues[m] {
+		if !sr.committed[t] && sr.copies[t] == 0 {
+			lost = append(lost, t)
+		}
+	}
 	sr.queues[m] = nil
-	// The running task (if any) is lost: find its completion event and
-	// mark it via the busy flag; the completion handler will see the dead
-	// machine and ignore it.
+	// Running tasks are lost: their completion events stay on the heap, but
+	// the completion handler sees the dead machine and ignores them. A task
+	// is only requeued when this death killed its last running copy and no
+	// copy has committed — a surviving speculative backup carries on.
 	if sr.running[m] > 0 {
 		for _, ev := range sr.events {
 			if ev.kind == evTaskDone && ev.machine == m {
-				lost = append(lost, ev.task)
+				sr.copies[ev.task]--
+				if !sr.committed[ev.task] && sr.copies[ev.task] == 0 {
+					lost = append(lost, ev.task)
+				}
 			}
 		}
 		sr.running[m] = 0
@@ -461,6 +755,11 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 	r := sr.r
 	sr.inflight--
 	for _, t := range e.lost {
+		if sr.committed[t] {
+			// A copy elsewhere committed between the failure and the
+			// manager noticing it; nothing to recover.
+			continue
+		}
 		m, err := r.failover(t)
 		if err != nil {
 			// No live replica: surface as a deadlock; tests assert on

@@ -21,6 +21,19 @@ type Metrics struct {
 	TasksRun int
 	// Recoveries counts task re-executions due to machine failures.
 	Recoveries int
+	// TransferDrops counts transfers failed by transient link faults;
+	// TransferRetries counts their backoff re-issues. Retried bytes are
+	// only added to NetworkBytes when an attempt succeeds.
+	TransferDrops   int
+	TransferRetries int
+	// Speculations counts backup task copies the job manager launched
+	// against stragglers. A backup that loses the race still shows up in
+	// TasksRun and MachineSeconds — wasted work is real work.
+	Speculations int
+	// Checkpoints and Restores count iteration-checkpoint commits and
+	// rollback restores recorded by multi-iteration drivers.
+	Checkpoints int
+	Restores    int
 }
 
 // Add accumulates other into m (for multi-iteration jobs).
@@ -31,6 +44,11 @@ func (m *Metrics) Add(other Metrics) {
 	m.DiskBytes += other.DiskBytes
 	m.TasksRun += other.TasksRun
 	m.Recoveries += other.Recoveries
+	m.TransferDrops += other.TransferDrops
+	m.TransferRetries += other.TransferRetries
+	m.Speculations += other.Speculations
+	m.Checkpoints += other.Checkpoints
+	m.Restores += other.Restores
 }
 
 // IOSample is a point on the disk-I/O-rate timeline (Figure 10).

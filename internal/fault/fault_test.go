@@ -1,0 +1,217 @@
+package fault
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestScheduleQueries(t *testing.T) {
+	s := &Schedule{
+		Links: []LinkFault{
+			{Src: 0, Dst: 1, From: 1, Until: 3, Factor: 4},
+			{Src: 0, Dst: 1, From: 2, Until: 5, Factor: 2},
+			{Src: 2, Dst: 3, From: 0, Until: 1, Drop: true},
+		},
+		Slowdowns: []Slowdown{
+			{Machine: 1, From: 0, Until: 10, Factor: 3},
+			{Machine: 1, From: 5, Until: 6, Factor: 2},
+		},
+	}
+	cases := []struct {
+		src, dst cluster.MachineID
+		at, want float64
+	}{
+		{0, 1, 0.5, 1}, // before window
+		{0, 1, 1.5, 4}, // first fault only
+		{0, 1, 2.5, 8}, // overlap compounds
+		{0, 1, 4.0, 2}, // second fault only
+		{0, 1, 5.0, 1}, // Until is exclusive
+		{1, 0, 2.0, 1}, // directed: reverse link healthy
+	}
+	for _, c := range cases {
+		if got := s.LinkFactor(c.src, c.dst, c.at); got != c.want {
+			t.Errorf("LinkFactor(%d→%d, %g) = %g, want %g", c.src, c.dst, c.at, got, c.want)
+		}
+	}
+	if !s.DropsTransfer(2, 3, 0.5) {
+		t.Error("drop window not active at 0.5")
+	}
+	if s.DropsTransfer(2, 3, 1.0) {
+		t.Error("drop window active at its exclusive end")
+	}
+	if s.DropsTransfer(3, 2, 0.5) {
+		t.Error("drop applies to the reverse link")
+	}
+	if got := s.SlowdownFactor(1, 5.5); got != 6 {
+		t.Errorf("SlowdownFactor overlap = %g, want 6", got)
+	}
+	if got := s.SlowdownFactor(0, 5.5); got != 1 {
+		t.Errorf("healthy machine slowdown = %g, want 1", got)
+	}
+}
+
+// TestNilScheduleHotPathAllocatesNothing pins the fault-free hot path: the
+// engine queries the schedule on every task start and transfer start, and
+// with no faults configured (nil schedule) those queries must stay
+// allocation-free so the untraced, fault-free event loop is as cheap as it
+// was before the fault model existed.
+func TestNilScheduleHotPathAllocatesNothing(t *testing.T) {
+	var s *Schedule
+	allocs := testing.AllocsPerRun(1000, func() {
+		if s.LinkFactor(0, 1, 2.5) != 1 || s.SlowdownFactor(0, 2.5) != 1 || s.DropsTransfer(0, 1, 2.5) {
+			t.Fatal("nil schedule injected a fault")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-schedule queries allocate %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := []*Schedule{
+		{Links: []LinkFault{{Src: 0, Dst: 9, From: 0, Until: 1, Factor: 2}}},
+		{Links: []LinkFault{{Src: 1, Dst: 1, From: 0, Until: 1, Factor: 2}}},
+		{Links: []LinkFault{{Src: 0, Dst: 1, From: 2, Until: 1, Factor: 2}}},
+		{Links: []LinkFault{{Src: 0, Dst: 1, From: 0, Until: 1, Factor: 0.5}}},
+		{Links: []LinkFault{{Src: 0, Dst: 1, From: 0, Until: math.Inf(1), Drop: true}}},
+		{Slowdowns: []Slowdown{{Machine: 9, From: 0, Until: 1, Factor: 2}}},
+		{Slowdowns: []Slowdown{{Machine: 0, From: 0, Until: 1, Factor: 1}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(4); err == nil {
+			t.Errorf("schedule %d validated but is malformed: %+v", i, s)
+		}
+	}
+	ok := &Schedule{
+		Links:     []LinkFault{{Src: 0, Dst: 1, From: 0, Until: 2, Factor: 3}, {Src: 1, Dst: 2, From: 1, Until: 2, Drop: true}},
+		Slowdowns: []Slowdown{{Machine: 3, From: 0, Until: 5, Factor: 2}},
+	}
+	if err := ok.Validate(4); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+	var nilSched *Schedule
+	if err := nilSched.Validate(4); err != nil {
+		t.Errorf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{}.WithDefaults()
+	if p.Timeout != 1.0 || p.Backoff != 0.25 || p.Multiplier != 2 || p.MaxBackoff != 8 {
+		t.Fatalf("unexpected defaults: %+v", p)
+	}
+	want := []float64{0.25, 0.5, 1, 2, 4, 8, 8, 8}
+	for i, w := range want {
+		if got := p.BackoffAt(i + 1); got != w {
+			t.Errorf("BackoffAt(%d) = %g, want %g", i+1, got, w)
+		}
+	}
+}
+
+func TestSpeculationPolicy(t *testing.T) {
+	p := SpeculationPolicy{Enabled: true}.WithDefaults()
+	if p.IsStraggler(10, 2, 1, 10) {
+		t.Error("speculated with only 10% of the stage complete")
+	}
+	if !p.IsStraggler(10, 2, 6, 10) {
+		t.Error("missed a 5x straggler with 60% complete")
+	}
+	if p.IsStraggler(3, 2, 6, 10) {
+		t.Error("speculated on a task within the threshold")
+	}
+	off := SpeculationPolicy{}.WithDefaults()
+	if off.IsStraggler(100, 1, 9, 10) {
+		t.Error("disabled policy speculated")
+	}
+}
+
+func TestGenerateDeterministicAndValid(t *testing.T) {
+	cfg := GenConfig{Machines: 8, Horizon: 20, Degrades: 3, Drops: 2, Slowdowns: 2, Kills: 2, Seed: 7}
+	s1, k1 := Generate(cfg)
+	s2, k2 := Generate(cfg)
+	if len(s1.Links) != 5 || len(s1.Slowdowns) != 2 || len(k1) != 2 {
+		t.Fatalf("unexpected counts: %d links, %d slowdowns, %d kills", len(s1.Links), len(s1.Slowdowns), len(k1))
+	}
+	if err := s1.Validate(cfg.Machines); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	for i := range s1.Links {
+		if s1.Links[i] != s2.Links[i] {
+			t.Fatal("same seed produced different link faults")
+		}
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatal("same seed produced different kills")
+		}
+		if k1[i].Machine == 0 {
+			t.Fatal("generator killed machine 0")
+		}
+	}
+	seen := map[cluster.MachineID]bool{}
+	for _, k := range k1 {
+		if seen[k.Machine] {
+			t.Fatal("generator killed the same machine twice")
+		}
+		seen[k.Machine] = true
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "faults.json")
+	doc := `{
+		"kills": [{"machine": 2, "at": 1.5}],
+		"links": [{"src": 0, "dst": 3, "from": 0.5, "until": 2.0, "factor": 4}],
+		"drops": [{"src": 1, "dst": 2, "from": 0.2, "until": 0.8}],
+		"slowdowns": [{"machine": 5, "from": 0, "until": 10, "factor": 3}]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Schedule()
+	if len(s.Links) != 2 || len(s.Slowdowns) != 1 {
+		t.Fatalf("unexpected schedule: %+v", s)
+	}
+	if got := s.LinkFactor(0, 3, 1.0); got != 4 {
+		t.Errorf("degradation factor = %g, want 4", got)
+	}
+	if !s.DropsTransfer(1, 2, 0.5) {
+		t.Error("drop entry not converted")
+	}
+	if got := s.SlowdownFactor(5, 5); got != 3 {
+		t.Errorf("slowdown factor = %g, want 3", got)
+	}
+	kills := f.KillList()
+	if len(kills) != 1 || kills[0].Machine != 2 || kills[0].At != 1.5 {
+		t.Fatalf("unexpected kills: %+v", kills)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("loading a missing file succeeded")
+	}
+	badPath := filepath.Join(dir, "bad.json")
+	os.WriteFile(badPath, []byte("{"), 0o644)
+	if _, err := Load(badPath); err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Errorf("bad JSON error = %v", err)
+	}
+}
+
+func TestFileEmptySchedule(t *testing.T) {
+	var f *File
+	if f.Schedule() != nil || f.KillList() != nil {
+		t.Error("nil file produced a schedule")
+	}
+	empty := &File{Kills: []FileKill{{Machine: 1, At: 2}}}
+	if empty.Schedule() != nil {
+		t.Error("kills-only file produced a transient schedule")
+	}
+}

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+)
+
+// File is the on-disk fault-schedule format consumed by the CLIs: a JSON
+// document naming machine kills, link faults and slowdowns in one place,
+// so a whole chaos scenario is reproducible from a single file.
+//
+//	{
+//	  "kills":     [{"machine": 2, "at": 1.5}],
+//	  "links":     [{"src": 0, "dst": 3, "from": 0.5, "until": 2.0,
+//	                 "factor": 4}],
+//	  "drops":     [{"src": 1, "dst": 2, "from": 0.2, "until": 0.8}],
+//	  "slowdowns": [{"machine": 5, "from": 0, "until": 10, "factor": 3}]
+//	}
+type File struct {
+	Kills     []FileKill     `json:"kills,omitempty"`
+	Links     []FileLink     `json:"links,omitempty"`
+	Drops     []FileLink     `json:"drops,omitempty"`
+	Slowdowns []FileSlowdown `json:"slowdowns,omitempty"`
+}
+
+// FileKill is a permanent machine death entry.
+type FileKill struct {
+	Machine int     `json:"machine"`
+	At      float64 `json:"at"`
+}
+
+// FileLink is a link degradation ("links", Factor required) or a transfer
+// drop window ("drops", Factor ignored).
+type FileLink struct {
+	Src    int     `json:"src"`
+	Dst    int     `json:"dst"`
+	From   float64 `json:"from"`
+	Until  float64 `json:"until"`
+	Factor float64 `json:"factor,omitempty"`
+}
+
+// FileSlowdown is a machine compute slowdown entry.
+type FileSlowdown struct {
+	Machine int     `json:"machine"`
+	From    float64 `json:"from"`
+	Until   float64 `json:"until"`
+	Factor  float64 `json:"factor"`
+}
+
+// Load reads and decodes a fault-schedule file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("fault: reading schedule: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("fault: parsing schedule %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Schedule converts the file's transient entries into an engine-ready
+// Schedule (kills are exposed separately via Kills, since permanent deaths
+// are engine.Failure territory).
+func (f *File) Schedule() *Schedule {
+	if f == nil || (len(f.Links) == 0 && len(f.Drops) == 0 && len(f.Slowdowns) == 0) {
+		return nil
+	}
+	s := &Schedule{}
+	for _, l := range f.Links {
+		s.Links = append(s.Links, LinkFault{
+			Src: cluster.MachineID(l.Src), Dst: cluster.MachineID(l.Dst),
+			From: l.From, Until: l.Until, Factor: l.Factor,
+		})
+	}
+	for _, l := range f.Drops {
+		s.Links = append(s.Links, LinkFault{
+			Src: cluster.MachineID(l.Src), Dst: cluster.MachineID(l.Dst),
+			From: l.From, Until: l.Until, Drop: true,
+		})
+	}
+	for _, sd := range f.Slowdowns {
+		s.Slowdowns = append(s.Slowdowns, Slowdown{
+			Machine: cluster.MachineID(sd.Machine),
+			From:    sd.From, Until: sd.Until, Factor: sd.Factor,
+		})
+	}
+	return s
+}
+
+// KillList returns the file's machine deaths as generator Kill entries.
+func (f *File) KillList() []Kill {
+	if f == nil {
+		return nil
+	}
+	out := make([]Kill, 0, len(f.Kills))
+	for _, k := range f.Kills {
+		out = append(out, Kill{Machine: cluster.MachineID(k.Machine), At: k.At})
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package fault
+
+import (
+	"math/rand"
+
+	"repro/internal/cluster"
+)
+
+// GenConfig parameterizes the seeded chaos-schedule generator.
+type GenConfig struct {
+	// Machines is the cluster size faults are drawn over.
+	Machines int
+	// Horizon is the virtual-time span faults land in; windows are drawn
+	// from [0.05·Horizon, 0.95·Horizon] so they overlap real work.
+	Horizon float64
+	// Degrades, Drops and Slowdowns count the faults of each class.
+	Degrades  int
+	Drops     int
+	Slowdowns int
+	// Kills is the number of permanent machine deaths to draw (returned
+	// separately — deaths are engine.Failure territory).
+	Kills int
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// Kill is a generated permanent machine death (mirrors engine.Failure
+// without importing the engine, which imports this package).
+type Kill struct {
+	Machine cluster.MachineID
+	At      float64
+}
+
+// Generate draws a random but fully deterministic fault schedule: link
+// degradations, transfer-drop windows, straggler slowdowns, and machine
+// kills. Distinct machines are killed (never machine 0, so a live machine
+// always remains) and drop windows are kept short relative to the horizon
+// so retries always eventually succeed.
+func Generate(cfg GenConfig) (*Schedule, []Kill) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{}
+	window := func(maxLen float64) (float64, float64) {
+		lo, hi := 0.05*cfg.Horizon, 0.95*cfg.Horizon
+		from := lo + rng.Float64()*(hi-lo)
+		until := from + (0.05+rng.Float64())*maxLen
+		return from, until
+	}
+	pair := func() (cluster.MachineID, cluster.MachineID) {
+		src := cluster.MachineID(rng.Intn(cfg.Machines))
+		dst := cluster.MachineID(rng.Intn(cfg.Machines))
+		for dst == src {
+			dst = cluster.MachineID(rng.Intn(cfg.Machines))
+		}
+		return src, dst
+	}
+	for i := 0; i < cfg.Degrades; i++ {
+		src, dst := pair()
+		from, until := window(0.3 * cfg.Horizon)
+		s.Links = append(s.Links, LinkFault{
+			Src: src, Dst: dst, From: from, Until: until,
+			Factor: 2 + rng.Float64()*6,
+		})
+	}
+	for i := 0; i < cfg.Drops; i++ {
+		src, dst := pair()
+		from, until := window(0.15 * cfg.Horizon)
+		s.Links = append(s.Links, LinkFault{
+			Src: src, Dst: dst, From: from, Until: until, Drop: true,
+		})
+	}
+	for i := 0; i < cfg.Slowdowns; i++ {
+		m := cluster.MachineID(rng.Intn(cfg.Machines))
+		from, until := window(0.5 * cfg.Horizon)
+		s.Slowdowns = append(s.Slowdowns, Slowdown{
+			Machine: m, From: from, Until: until,
+			Factor: 2 + rng.Float64()*4,
+		})
+	}
+	var kills []Kill
+	used := map[cluster.MachineID]bool{0: true}
+	for i := 0; i < cfg.Kills && len(used) < cfg.Machines; i++ {
+		m := cluster.MachineID(1 + rng.Intn(cfg.Machines-1))
+		for used[m] {
+			m = cluster.MachineID(1 + rng.Intn(cfg.Machines-1))
+		}
+		used[m] = true
+		kills = append(kills, Kill{
+			Machine: m,
+			At:      (0.1 + 0.6*rng.Float64()) * cfg.Horizon,
+		})
+	}
+	return s, kills
+}

@@ -1,0 +1,292 @@
+package propagation
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/storage"
+)
+
+// Clone returns a deep copy of the state: the checkpoint the driver rolls
+// back to when a machine death invalidates the iterations since. Values are
+// copied shallowly (programs treat values as immutable between iterations).
+func (st *State[V]) Clone() *State[V] {
+	c := &State[V]{
+		Values:  append([]V(nil), st.Values...),
+		Virtual: make(map[graph.VertexID]V, len(st.Virtual)),
+	}
+	for k, v := range st.Virtual {
+		c.Virtual[k] = v
+	}
+	return c
+}
+
+// CheckpointConfig configures iteration checkpointing for multi-iteration
+// propagation (the recovery half of Figure 10's fault-tolerance story):
+// between iterations the vertex state lives only on each partition's local
+// disk, so a machine death loses every iteration since the last durable
+// copy. Checkpointing persists the state to storage replicas every Interval
+// iterations; recovery then replays at most Interval iterations instead of
+// the whole run.
+type CheckpointConfig struct {
+	// Interval is K: a checkpoint commits after every K-th iteration.
+	// 0 disables checkpointing — a death rolls the run back to iteration
+	// zero (the restart-from-scratch baseline).
+	Interval int
+	// Replicas locates each partition's replica holders; checkpoint copies
+	// sync to a holder other than the writer, and restores read from it.
+	// Required when Interval > 0.
+	Replicas *storage.Replicas
+	// Cascaded applies cascaded propagation (§5.2) to the compute
+	// iterations. Checkpoints always persist the full state, so mid-phase
+	// iterations that skipped intermediate I/O stay recoverable.
+	Cascaded bool
+}
+
+// RunCheckpointed executes iters propagation iterations with iteration
+// checkpointing. Every checkpoint and restore runs as an ordinary engine job
+// — its disk and network traffic is charged to the virtual clock and the
+// NICs like any other stage — and is marked on the runner's metrics and
+// trace stream. When a machine dies during an iteration, the run rolls back
+// to the last checkpoint and replays; because iterations are deterministic,
+// the final values are bit-identical to a failure-free run.
+func RunCheckpointed[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, iters int, cfg CheckpointConfig) (*State[V], engine.Metrics, error) {
+	if cfg.Interval < 0 {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: negative checkpoint interval %d", cfg.Interval)
+	}
+	if cfg.Interval > 0 && cfg.Replicas == nil {
+		return nil, engine.Metrics{}, fmt.Errorf("propagation: checkpoint interval %d requires replicas", cfg.Interval)
+	}
+	var ci *CascadeInfo
+	if cfg.Cascaded {
+		ci = AnalyzeCascade(pg)
+	}
+	var total engine.Metrics
+	ckptState := st.Clone()
+	ckptIter := 0
+	rollbacks := 0
+	for i := 0; i < iters; {
+		deaths := r.Deaths()
+		next, m, err := runOneIteration(r, pg, pl, prog, st, opt, i, iters, ci)
+		if err != nil {
+			return nil, total, err
+		}
+		total.Add(m)
+		if r.Deaths() > deaths {
+			// A machine died: the state of its partitions since the last
+			// checkpoint is gone. Restore the checkpoint (charging its I/O)
+			// and replay from there.
+			rollbacks++
+			if rollbacks > r.NumMachines() {
+				return nil, total, fmt.Errorf("propagation: %d rollbacks on a %d-machine cluster; failure plan cannot converge", rollbacks, r.NumMachines())
+			}
+			if ckptIter > 0 {
+				rm, err := runRestoreJob(r, pg, pl, prog, ckptState, cfg.Replicas, ckptIter)
+				if err != nil {
+					return nil, total, err
+				}
+				total.Add(rm)
+			}
+			st = ckptState.Clone()
+			i = ckptIter
+			continue
+		}
+		st = next
+		i++
+		if cfg.Interval > 0 && i%cfg.Interval == 0 && i < iters {
+			cm, err := runCheckpointJob(r, pg, pl, prog, st, cfg.Replicas, i)
+			if err != nil {
+				return nil, total, err
+			}
+			total.Add(cm)
+			ckptState = st.Clone()
+			ckptIter = i
+		}
+	}
+	return st, total, nil
+}
+
+// runOneIteration executes iteration i, optionally with the cascaded
+// propagation skip pattern (keyed to the absolute iteration index, so a
+// replayed iteration skips exactly what the original run skipped).
+func runOneIteration[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, i, iters int, ci *CascadeInfo) (*State[V], engine.Metrics, error) {
+	if ci == nil {
+		return iterateNamed(r, pg, pl, prog, st, opt, iterName("propagation", i))
+	}
+	ex := newExecution(pg, pl, prog, st, opt)
+	ex.pool = r.Pool()
+	ex.jobName = iterName("cascaded", i)
+	phasePos := i % ci.MinDiameter
+	if phasePos > 0 && i != iters-1 {
+		skip := make([]bool, pg.G.NumVertices())
+		for v, d := range ci.Depth {
+			if d >= phasePos {
+				skip[v] = true
+			}
+		}
+		ex.skipStateIO = skip
+	}
+	ex.transferAll()
+	next := ex.combineAll()
+	m, err := r.Run(ex.buildJob())
+	if err != nil {
+		return nil, engine.Metrics{}, err
+	}
+	return next, m, nil
+}
+
+// statePartBytes sums the serialized state per partition: each real vertex
+// in its home partition, each virtual value in its round-robin owner.
+func statePartBytes[V any](pg *storage.PartitionedGraph, prog Program[V], st *State[V]) []int64 {
+	out := make([]int64, pg.Part.P)
+	for v, val := range st.Values {
+		out[pg.Part.Assign[v]] += prog.Bytes(val)
+	}
+	for d, val := range st.Virtual {
+		out[VirtualPartition(d, pg.Part.P)] += prog.Bytes(val)
+	}
+	return out
+}
+
+// syncHolder picks the replica machine a partition's checkpoint copy syncs
+// to: the first holder that is not the writer. Degenerate layouts (a single
+// holder) sync in place.
+func syncHolder(reps *storage.Replicas, p int, writer cluster.MachineID) cluster.MachineID {
+	for _, m := range reps.Machines[p] {
+		if m != writer {
+			return m
+		}
+	}
+	return writer
+}
+
+// runCheckpointJob persists the state as a two-stage engine job: ckpt-write
+// writes each partition's state to its machine's disk, ckpt-sync ships a
+// copy to a replica holder and writes it there. All I/O flows through the
+// simulated disks and NICs.
+func runCheckpointJob[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], reps *storage.Replicas, iter int) (engine.Metrics, error) {
+	bytesPer := statePartBytes(pg, prog, st)
+	p := pg.Part.P
+	write := make([]*engine.Task, p)
+	sync := make([]*engine.Task, p)
+	var totalBytes int64
+	for i := 0; i < p; i++ {
+		m := pl.MachineOf[i]
+		totalBytes += bytesPer[i]
+		write[i] = &engine.Task{
+			Name: fmt.Sprintf("ckpt-write-p%d", i), Kind: engine.KindTransfer,
+			Part: partition.PartID(i), Machine: m,
+			DiskWrite: bytesPer[i],
+			Outputs:   []engine.Output{{DstTask: i, Bytes: bytesPer[i]}},
+		}
+		sync[i] = &engine.Task{
+			Name: fmt.Sprintf("ckpt-sync-p%d", i), Kind: engine.KindCombine,
+			Part: partition.PartID(i), Machine: syncHolder(reps, i, m),
+			DiskWrite: bytesPer[i],
+		}
+	}
+	name := fmt.Sprintf("ckpt-%03d", iter)
+	m, err := r.Run(&engine.Job{Name: name, Stages: []*engine.Stage{
+		{Name: "ckpt-write", Tasks: write},
+		{Name: "ckpt-sync", Tasks: sync},
+	}})
+	if err != nil {
+		return m, err
+	}
+	r.NoteCheckpoint(name, totalBytes)
+	m.Checkpoints++
+	return m, nil
+}
+
+// runRestoreJob reloads the last checkpoint: restore-read reads each
+// partition's durable copy on its sync holder, restore-write ships it back
+// to the partition's (possibly failed-over) machine and writes it locally.
+func runRestoreJob[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], reps *storage.Replicas, iter int) (engine.Metrics, error) {
+	bytesPer := statePartBytes(pg, prog, st)
+	p := pg.Part.P
+	read := make([]*engine.Task, p)
+	write := make([]*engine.Task, p)
+	var totalBytes int64
+	for i := 0; i < p; i++ {
+		m := pl.MachineOf[i]
+		holder := syncHolder(reps, i, m)
+		totalBytes += bytesPer[i]
+		read[i] = &engine.Task{
+			Name: fmt.Sprintf("restore-read-p%d", i), Kind: engine.KindTransfer,
+			Part: partition.PartID(i), Machine: holder,
+			DiskRead: bytesPer[i],
+			Outputs:  []engine.Output{{DstTask: i, Bytes: bytesPer[i]}},
+		}
+		write[i] = &engine.Task{
+			Name: fmt.Sprintf("restore-write-p%d", i), Kind: engine.KindCombine,
+			Part: partition.PartID(i), Machine: m,
+			DiskWrite: bytesPer[i],
+		}
+	}
+	name := fmt.Sprintf("restore-%03d", iter)
+	m, err := r.Run(&engine.Job{Name: name, Stages: []*engine.Stage{
+		{Name: "restore-read", Tasks: read},
+		{Name: "restore-write", Tasks: write},
+	}})
+	if err != nil {
+		return m, err
+	}
+	r.NoteRestore(name, totalBytes)
+	m.Restores++
+	return m, nil
+}
+
+// SaveCheckpoint persists a state to path in the storage checkpoint format
+// (a gob-encoded payload inside the SRFC envelope), for drivers that keep
+// real durable checkpoints between process runs.
+func SaveCheckpoint[V any](path string, iteration int, st *State[V]) error {
+	var payload bytes.Buffer
+	enc := gob.NewEncoder(&payload)
+	if err := enc.Encode(st.Values); err != nil {
+		return fmt.Errorf("propagation: encoding checkpoint values: %w", err)
+	}
+	if err := enc.Encode(st.Virtual); err != nil {
+		return fmt.Errorf("propagation: encoding checkpoint virtual values: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := storage.WriteCheckpoint(f, iteration, payload.Bytes()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint, returning the
+// iteration it belongs to and the decoded state.
+func LoadCheckpoint[V any](path string) (int, *State[V], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	iter, payload, err := storage.ReadCheckpoint(f)
+	if err != nil {
+		return 0, nil, err
+	}
+	st := &State[V]{}
+	dec := gob.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&st.Values); err != nil {
+		return 0, nil, fmt.Errorf("propagation: decoding checkpoint values: %w", err)
+	}
+	if err := dec.Decode(&st.Virtual); err != nil {
+		return 0, nil, fmt.Errorf("propagation: decoding checkpoint virtual values: %w", err)
+	}
+	if st.Virtual == nil {
+		st.Virtual = make(map[graph.VertexID]V)
+	}
+	return iter, st, nil
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/storage"
 	"repro/internal/trace"
 )
@@ -86,6 +87,12 @@ type Config struct {
 	// Trace is forwarded to the engine: all jobs the scheduler runs emit
 	// their structured events into this recorder. Nil disables tracing.
 	Trace *trace.Recorder
+	// Faults, Retry and Speculation are forwarded to the engine's expanded
+	// fault model (transient link faults, dropped-transfer backoff, backup
+	// tasks for stragglers).
+	Faults      *fault.Schedule
+	Retry       fault.RetryPolicy
+	Speculation fault.SpeculationPolicy
 }
 
 // Scheduler coordinates jobs over one shared simulated cluster.
@@ -119,6 +126,9 @@ func New(cfg Config) *Scheduler {
 			SlotsPerMachine: cfg.SlotsPerMachine,
 			Workers:         cfg.Workers,
 			Trace:           cfg.Trace,
+			Faults:          cfg.Faults,
+			Retry:           cfg.Retry,
+			Speculation:     cfg.Speculation,
 		}),
 		served: make(map[string]float64),
 	}

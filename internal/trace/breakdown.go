@@ -8,6 +8,11 @@ import "sort"
 // construction, and — like the stream — identical for every worker count.
 type Breakdown struct {
 	Jobs []*JobBreakdown
+	// Checkpoints / Restores count driver-level checkpoint commits and
+	// rollback restores observed in the stream (they carry no machine:
+	// their I/O cost appears as ordinary checkpoint/restore jobs).
+	Checkpoints int
+	Restores    int
 }
 
 // JobBreakdown aggregates one engine job.
@@ -57,6 +62,16 @@ type MachineBreakdown struct {
 	TasksLost int
 	Transfers int
 	Retries   int
+	// TransferDrops / TransferRetries count transfers this machine sent
+	// that a transient link fault failed, and their backoff re-issues.
+	TransferDrops   int
+	TransferRetries int
+	// Speculations counts backup task copies launched on this machine by
+	// the job manager's straggler rule.
+	Speculations int
+	// DropStallSeconds is NIC time wasted by dropped transfers: both NICs
+	// were held from the attempt's start until the sender's timeout.
+	DropStallSeconds float64
 	// Failed reports the machine died during the stage.
 	Failed bool
 }
@@ -80,6 +95,10 @@ func (m *MachineBreakdown) add(other *MachineBreakdown) {
 	m.TasksLost += other.TasksLost
 	m.Transfers += other.Transfers
 	m.Retries += other.Retries
+	m.TransferDrops += other.TransferDrops
+	m.TransferRetries += other.TransferRetries
+	m.Speculations += other.Speculations
+	m.DropStallSeconds += other.DropStallSeconds
 	m.Failed = m.Failed || other.Failed
 }
 
@@ -164,6 +183,18 @@ func Summarize(events []Event) *Breakdown {
 			ensure().machine(ev.Machine).Failed = true
 		case KindRetry:
 			ensure().machine(ev.Machine).Retries++
+		case KindTransferDrop:
+			mb := ensure().machine(ev.Machine)
+			mb.TransferDrops++
+			mb.DropStallSeconds += ev.End - ev.Start
+		case KindTransferRetry:
+			ensure().machine(ev.Machine).TransferRetries++
+		case KindSpeculate:
+			ensure().machine(ev.Machine).Speculations++
+		case KindCheckpoint:
+			b.Checkpoints++
+		case KindRestore:
+			b.Restores++
 		}
 	}
 	for _, jb := range b.Jobs {

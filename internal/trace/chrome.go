@@ -166,6 +166,42 @@ func WriteChrome(w io.Writer, events []Event) error {
 				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "t",
 				Args: taskArgs(ev),
 			})
+		case KindTransferDrop:
+			// The failed attempt held the sender's egress NIC from Start
+			// until the timeout fired at End; render it as a span so the
+			// wasted NIC time is visible next to successful transfers.
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("drop→m%02d", ev.Dst), Ph: "X", Cat: "fault",
+				Pid: ev.Machine, Tid: laneEgress, Ts: usec(ev.Start),
+				Dur: ptrF(usec(ev.End - ev.Start)),
+				Args: &chromeArgs{
+					Bytes: ptrB(ev.Bytes), Src: ptrI(ev.Machine), Dst: ptrI(ev.Dst),
+				},
+			})
+		case KindTransferRetry:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("transfer-retry→m%02d", ev.Dst), Ph: "i", Cat: "fault",
+				Pid: ev.Machine, Tid: laneEgress, Ts: usec(ev.Time), Scope: "t",
+				Args: &chromeArgs{Dst: ptrI(ev.Dst)},
+			})
+		case KindSpeculate:
+			out = append(out, chromeEvent{
+				Name: "speculate:" + ev.Name, Ph: "i", Cat: "speculation",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "t",
+				Args: taskArgs(ev),
+			})
+		case KindCheckpoint:
+			out = append(out, chromeEvent{
+				Name: "checkpoint", Ph: "i", Cat: "checkpoint",
+				Pid: jobPid, Tid: 0, Ts: usec(ev.Time), Scope: "p",
+				Args: &chromeArgs{Bytes: ptrB(ev.Bytes), Job: ev.Job},
+			})
+		case KindRestore:
+			out = append(out, chromeEvent{
+				Name: "restore", Ph: "i", Cat: "checkpoint",
+				Pid: jobPid, Tid: 0, Ts: usec(ev.Time), Scope: "p",
+				Args: &chromeArgs{Bytes: ptrB(ev.Bytes), Job: ev.Job},
+			})
 		}
 	}
 

@@ -42,6 +42,24 @@ const (
 	// KindRetry marks a lost task being re-dispatched to Machine (its
 	// failover replica) at Time, after the heartbeat detection latency.
 	KindRetry
+	// KindTransferDrop marks an in-flight transfer Machine -> Dst failed
+	// by a transient link fault: it made no progress, held both NICs from
+	// Start until the sender's timeout fired at End, and will be retried.
+	// Attempt counts prior attempts (0 = the first send).
+	KindTransferDrop
+	// KindTransferRetry marks the re-issue of a dropped transfer after
+	// its exponential backoff; Attempt is the retry number (1-based).
+	KindTransferRetry
+	// KindSpeculate marks the job manager launching a backup copy of a
+	// straggling task on Machine (a replica holder of Part). The first
+	// completed copy commits; results commit in task order either way.
+	KindSpeculate
+	// KindCheckpoint marks a completed iteration checkpoint: the vertex
+	// state persisted to replica machines. Bytes is the state volume.
+	KindCheckpoint
+	// KindRestore marks a checkpoint restore after a machine death: the
+	// run rolled back to the last checkpointed iteration.
+	KindRestore
 )
 
 func (k EventKind) String() string {
@@ -66,6 +84,16 @@ func (k EventKind) String() string {
 		return "failure"
 	case KindRetry:
 		return "retry"
+	case KindTransferDrop:
+		return "transfer-drop"
+	case KindTransferRetry:
+		return "transfer-retry"
+	case KindSpeculate:
+		return "speculate"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindRestore:
+		return "restore"
 	default:
 		return "unknown"
 	}
@@ -109,6 +137,12 @@ type Event struct {
 	// Incast reports that the receiver's ingress NIC was the binding
 	// constraint for Stall — the all-to-all incast signature.
 	Incast bool
+	// Attempt is the transfer attempt number for drop/retry events and
+	// for transfers that finally succeeded after retries (0 = first try).
+	Attempt int
+	// Degraded reports a transfer ran over a link slowed by a transient
+	// fault (its duration reflects the degraded bandwidth).
+	Degraded bool
 }
 
 // Recorder collects the event stream of one or more runs. The zero value is

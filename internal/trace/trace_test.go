@@ -53,7 +53,8 @@ func TestDisabledRecorderAllocatesNothing(t *testing.T) {
 
 func TestEventKindStrings(t *testing.T) {
 	kinds := []EventKind{KindJobBegin, KindJobEnd, KindStageBegin, KindStageEnd,
-		KindTaskStart, KindTaskEnd, KindTaskLost, KindTransfer, KindFailure, KindRetry}
+		KindTaskStart, KindTaskEnd, KindTaskLost, KindTransfer, KindFailure, KindRetry,
+		KindTransferDrop, KindTransferRetry, KindSpeculate, KindCheckpoint, KindRestore}
 	seen := make(map[string]bool)
 	for _, k := range kinds {
 		s := k.String()
@@ -169,5 +170,40 @@ func TestSummarizeUntracked(t *testing.T) {
 	})
 	if len(b.Jobs) != 1 || b.Jobs[0].Name != "(untracked)" {
 		t.Fatalf("untracked events not gathered: %+v", b.Jobs)
+	}
+}
+
+// TestSummarizeFaultKinds covers the expanded fault model's event kinds:
+// dropped transfers with their wasted NIC time, backoff retries, backup
+// task launches, and driver-level checkpoint/restore markers.
+func TestSummarizeFaultKinds(t *testing.T) {
+	b := Summarize([]Event{
+		{Kind: KindJobBegin, Job: "j", Time: 0},
+		{Kind: KindStageBegin, Job: "j", Stage: "s", Time: 0},
+		{Kind: KindTransferDrop, Job: "j", Stage: "s", Machine: 0, Dst: 1, Bytes: 100, Time: 0, Start: 0.5, End: 1.5},
+		{Kind: KindTransferRetry, Job: "j", Stage: "s", Machine: 0, Dst: 1, Time: 2, Attempt: 1},
+		{Kind: KindTransfer, Job: "j", Stage: "s", Machine: 0, Dst: 1, Part: 0, Bytes: 100, Time: 2, Start: 2, End: 3, Attempt: 1},
+		{Kind: KindSpeculate, Job: "j", Stage: "s", Name: "t0", Machine: 2, Part: 0, Time: 2.5},
+		{Kind: KindStageEnd, Job: "j", Stage: "s", Time: 3},
+		{Kind: KindJobEnd, Job: "j", Time: 3},
+		{Kind: KindCheckpoint, Job: "ckpt-1", Machine: None, Dst: None, Part: None, Bytes: 4096, Time: 3},
+		{Kind: KindRestore, Job: "restore-1", Machine: None, Dst: None, Part: None, Bytes: 4096, Time: 4},
+	})
+	tot := b.Totals()
+	if tot.TransferDrops != 1 || tot.TransferRetries != 1 {
+		t.Fatalf("drops/retries = %d/%d, want 1/1", tot.TransferDrops, tot.TransferRetries)
+	}
+	if tot.DropStallSeconds != 1.0 {
+		t.Fatalf("drop stall = %v, want 1.0", tot.DropStallSeconds)
+	}
+	if tot.Speculations != 1 {
+		t.Fatalf("speculations = %d, want 1", tot.Speculations)
+	}
+	if b.Checkpoints != 1 || b.Restores != 1 {
+		t.Fatalf("checkpoints/restores = %d/%d, want 1/1", b.Checkpoints, b.Restores)
+	}
+	// Delivered bytes count the successful attempt only.
+	if tot.EgressBytes != 100 {
+		t.Fatalf("egress bytes = %d, want 100", tot.EgressBytes)
 	}
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/mapreduce"
 	"repro/internal/partition"
@@ -164,6 +165,44 @@ type Metrics = engine.Metrics
 // Failure schedules a machine death for fault-tolerance experiments.
 type Failure = engine.Failure
 
+// ----------------------------------------------------------- fault model
+
+// FaultSchedule injects transient faults into a run: degraded links,
+// transfer-drop windows, and machine compute slowdowns. Set one on
+// Config.Faults. Nil disables injection at zero cost; values are
+// bit-identical with and without workers because faults are pure functions
+// of (link, time) evaluated from the serial event loop.
+type FaultSchedule = fault.Schedule
+
+// LinkFault degrades (Factor > 1) or blackholes (Drop) one directed link
+// over a [From, Until) virtual-time window.
+type LinkFault = fault.LinkFault
+
+// MachineSlowdown stretches one machine's compute durations over a window,
+// modeling a straggler.
+type MachineSlowdown = fault.Slowdown
+
+// RetryPolicy governs dropped-transfer detection (timeout) and the
+// exponential backoff between redelivery attempts. The zero value selects
+// the defaults: 1s timeout, 0.25s initial backoff doubling to 8s,
+// unlimited attempts.
+type RetryPolicy = fault.RetryPolicy
+
+// SpeculationPolicy enables backup tasks for stragglers: when a running
+// task's projected duration exceeds Factor times the median of committed
+// tasks, a copy launches on a replica holder and the first completion wins.
+type SpeculationPolicy = fault.SpeculationPolicy
+
+// FaultFile is the on-disk JSON fault-schedule format consumed by the CLIs
+// (kills, degraded links, drop windows, slowdowns in one document).
+type FaultFile = fault.File
+
+// LoadFaultFile reads a fault-schedule file.
+func LoadFaultFile(path string) (*FaultFile, error) { return fault.Load(path) }
+
+// CheckpointConfig configures iteration checkpointing for RunCheckpointed.
+type CheckpointConfig = propagation.CheckpointConfig
+
 // --------------------------------------------------------------- tracing
 
 // TraceRecorder collects the structured event stream of traced runs. A nil
@@ -230,6 +269,16 @@ func RunCascaded[V any](sys *System, r *Runner, prog Program[V], iters int, opt 
 	return core.RunCascaded(sys, r, prog, iters, opt)
 }
 
+// RunCheckpointed is RunPropagation with iteration checkpointing: the state
+// persists to storage replicas every ckpt.Interval iterations (charged to
+// the virtual clock and NICs as ordinary jobs), and a machine death replays
+// at most Interval iterations instead of the whole run. Replicas default to
+// the system's own layout. Recovered values are bit-identical to a
+// failure-free run.
+func RunCheckpointed[V any](sys *System, r *Runner, prog Program[V], iters int, opt PropagationOptions, ckpt CheckpointConfig) (*State[V], Metrics, error) {
+	return core.RunCheckpointed(sys, r, prog, iters, opt, ckpt)
+}
+
 // RunPropagationTree is RunPropagation with tree aggregation (an extension
 // of local combination): cross-pod values merge inside the sending pod
 // before crossing the oversubscribed top-level switch. Requires an
@@ -292,11 +341,15 @@ const (
 // (Config.Trace), so scheduled jobs appear in the same timeline.
 func NewScheduler(sys *System, policy scheduler.Policy) *Scheduler {
 	return scheduler.New(scheduler.Config{
-		Topo:     sys.Topology,
-		Replicas: sys.Replicas,
-		Policy:   policy,
-		Workers:  sys.Workers(),
-		Trace:    sys.Trace(),
+		Topo:        sys.Topology,
+		Replicas:    sys.Replicas,
+		Failures:    sys.Failures(),
+		Policy:      policy,
+		Workers:     sys.Workers(),
+		Trace:       sys.Trace(),
+		Faults:      sys.Faults(),
+		Retry:       sys.Retry(),
+		Speculation: sys.Speculation(),
 	})
 }
 
