@@ -10,6 +10,13 @@ set -eux
 
 test -z "$(gofmt -l .)"
 go vet ./...
+# Determinism-contract static gate (docs/LINTS.md): wall-clock/entropy
+# calls, map-iteration order leaking into ordered output, concurrency
+# outside the engine pool, undocumented trace kinds. Exits nonzero on any
+# finding not carrying an audited //lint:allow pragma — before the race
+# gate, so contract violations fail faster than the tests that would
+# (sometimes) catch them dynamically.
+go run ./cmd/surfer-lint ./...
 go build ./...
 # Fast fault-model gate: failover, transient faults, retry/backoff,
 # speculation, checkpoint rollback and the chaos soak (short mode) under

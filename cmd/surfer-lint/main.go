@@ -1,0 +1,105 @@
+// Command surfer-lint enforces Surfer's determinism contract statically
+// (docs/LINTS.md): wall-clock and global-randomness calls, map-iteration
+// order leaking into ordered output, and concurrency outside the engine's
+// worker pool never reach a replay. It walks the repository's simulation
+// packages, reports findings as file:line:col: SLnnn: message, and exits
+// nonzero if any finding is not suppressed by a //lint:allow pragma.
+//
+// Usage:
+//
+//	surfer-lint [-json] [packages]
+//
+// Packages default to ./... relative to the module root (found by walking
+// up from the working directory; overridable with -root, which is how the
+// known-bad corpus under internal/lint/testdata/src is linted on purpose).
+// -json emits every finding — suppressed
+// ones included, with "suppressed": true and the pragma reason — so the
+// suppression inventory is auditable; text mode prints only the findings
+// that fail the run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (includes suppressed findings)")
+	rootFlag := flag.String("root", "", "analyze this tree instead of the enclosing module")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root := *rootFlag
+	if root == "" {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fatal(err)
+		}
+	}
+	findings, err := lint.Run(lint.DefaultConfig(root), patterns)
+	if err != nil {
+		fatal(err)
+	}
+	failing := lint.Unsuppressed(findings)
+
+	if *jsonOut {
+		out := struct {
+			Findings     []lint.Finding `json:"findings"`
+			Total        int            `json:"total"`
+			Unsuppressed int            `json:"unsuppressed"`
+		}{Findings: findings, Total: len(findings), Unsuppressed: len(failing)}
+		if out.Findings == nil {
+			out.Findings = []lint.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range failing {
+			fmt.Println(f)
+		}
+		if n := len(findings) - len(failing); n > 0 {
+			fmt.Fprintf(os.Stderr, "surfer-lint: %d finding(s) suppressed by //lint:allow pragmas (run -json to audit)\n", n)
+		}
+	}
+	if len(failing) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "surfer-lint: %d unsuppressed finding(s)\n", len(failing))
+		}
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("surfer-lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

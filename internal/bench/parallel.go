@@ -99,9 +99,9 @@ func ParallelBench(cfg ParallelConfig) (*ParallelResult, error) {
 	}
 	exec := func(workers int) (ParallelRun, []float64, error) {
 		r := engine.New(engine.Config{Topo: topo, Workers: workers})
-		start := time.Now()
+		start := time.Now() //lint:allow SL001 measuring real wall-clock speedup of the pool is this benchmark's purpose
 		res, m, err := app.RunPropagation(r, pg, pl, opt)
-		wall := time.Since(start).Seconds()
+		wall := time.Since(start).Seconds() //lint:allow SL001 wall-clock benchmarking; the simulated result itself stays seed-deterministic
 		if err != nil {
 			return ParallelRun{}, nil, err
 		}

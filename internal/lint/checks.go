@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// addFunc appends a finding at a position.
+type addFunc func(pos token.Pos, id, format string, args ...any)
+
+// forbiddenTime are time-package calls that read or depend on the wall
+// clock. Virtual time lives in the engine's event loop; wall time in a
+// simulation package makes results depend on the host.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// forbiddenOS are environment reads: configuration must arrive through
+// plumbed options, not ambient process state.
+var forbiddenOS = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// allowedRand are the math/rand constructors: building a seeded *rand.Rand
+// is exactly what the contract wants. Everything else at package level
+// (Intn, Perm, Shuffle, Float64, ...) draws from the process-global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// checkEntropy is SL001: calls to wall-clock, environment or
+// global-randomness functions. It resolves the file's imports so aliased
+// packages are caught and same-named locals are not.
+func checkEntropy(file *ast.File, add addFunc) {
+	imports := importNames(file)
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Obj != nil { // Obj != nil: a local, not the package
+			return true
+		}
+		switch imports[pkg.Name] {
+		case "time":
+			if forbiddenTime[sel.Sel.Name] {
+				add(call.Pos(), IDEntropy,
+					"call to %s.%s reads the wall clock; simulated time comes from the engine clock",
+					pkg.Name, sel.Sel.Name)
+			}
+		case "os":
+			if forbiddenOS[sel.Sel.Name] {
+				add(call.Pos(), IDEntropy,
+					"call to %s.%s reads ambient process environment; plumb configuration through options",
+					pkg.Name, sel.Sel.Name)
+			}
+		case "math/rand", "math/rand/v2":
+			if !allowedRand[sel.Sel.Name] {
+				add(call.Pos(), IDEntropy,
+					"call to %s.%s draws from the global rand source; use a seeded, plumbed *rand.Rand",
+					pkg.Name, sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkConcurrency is SL003: go statements and multi-case selects outside
+// the sanctioned worker pool (internal/engine/parallel.go). Goroutine
+// scheduling order is nondeterministic; the contract allows concurrency
+// only behind Pool.ForEach's index-disjoint discipline.
+func checkConcurrency(file *ast.File, add addFunc) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			add(s.Pos(), IDConcurrency,
+				"go statement outside the sanctioned worker pool; route parallel work through engine.Pool.ForEach")
+		case *ast.SelectStmt:
+			if len(s.Body.List) > 1 {
+				add(s.Pos(), IDConcurrency,
+					"multi-case select resolves by runtime scheduling order; deterministic code must not race channels")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeEmission is SL002, the PR 1 nrMR.Map bug class: a range
+// over a map whose body feeds ordered output — an emit callback, a trace
+// Emit, a channel send, or an append to a result slice — inherits the
+// runtime's randomized map iteration order. Appending keys and sorting
+// afterwards (the sortedKeys idiom) is the sanctioned fix: an append whose
+// target is passed to a sort call later in the same block is accepted.
+func checkMapRangeEmission(file *ast.File, add addFunc) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		inspectStmtLists(fn.Body, func(stmts []ast.Stmt) {
+			for i, st := range stmts {
+				rng, ok := st.(*ast.RangeStmt)
+				if !ok || !isMapExpr(rng.X, fn) {
+					continue
+				}
+				direct, appends := findEmissions(rng.Body)
+				for _, em := range direct {
+					add(em.pos, IDMapOrder,
+						"map iteration order is nondeterministic and this range body %s; emit in sorted key order",
+						em.what)
+				}
+				for _, em := range appends {
+					if sortedAfter(stmts[i+1:], em.target) {
+						continue
+					}
+					add(em.pos, IDMapOrder,
+						"map iteration order is nondeterministic and this range body appends to %q, which is never sorted afterwards",
+						em.target)
+				}
+			}
+		})
+	}
+}
+
+// inspectStmtLists visits every statement list in a function body: blocks,
+// switch cases and select clauses.
+func inspectStmtLists(body *ast.BlockStmt, visit func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.BlockStmt:
+			visit(s.List)
+		case *ast.CaseClause:
+			visit(s.Body)
+		case *ast.CommClause:
+			visit(s.Body)
+		}
+		return true
+	})
+}
+
+type emission struct {
+	pos    token.Pos
+	what   string // direct emissions: what the body does
+	target string // append emissions: the slice identifier
+}
+
+// findEmissions scans a range body for statements whose effect is ordered:
+// calls to an emit callback or an Emit/Record method, channel sends, and
+// appends to an identifier (returned separately so the caller can look for
+// a sanctioning sort).
+func findEmissions(body *ast.BlockStmt) (direct, appends []emission) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			direct = append(direct, emission{pos: s.Pos(), what: "sends on a channel"})
+		case *ast.CallExpr:
+			switch fun := s.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "emit" {
+					direct = append(direct, emission{pos: s.Pos(), what: "calls emit"})
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Emit" || fun.Sel.Name == "Record" {
+					direct = append(direct, emission{pos: s.Pos(), what: "calls " + fun.Sel.Name})
+				}
+			}
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := s.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "append" {
+				appends = append(appends, emission{pos: s.Pos(), target: lhs.Name})
+			}
+		}
+		return true
+	})
+	return direct, appends
+}
+
+// sortedAfter reports whether any statement in rest sorts target: a
+// sort.* / slices.* call taking it, or any call to a function whose name
+// mentions sorting (a sortKeys-style helper).
+func sortedAfter(rest []ast.Stmt, target string) bool {
+	found := false
+	for _, st := range rest {
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !mentionsIdent(call.Args, target) {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := fun.X.(*ast.Ident); ok && (pkg.Name == "sort" || pkg.Name == "slices") {
+					found = true
+				}
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(fun.Name), "sort") {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsIdent(exprs []ast.Expr, name string) bool {
+	for _, e := range exprs {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == name {
+				hit = true
+			}
+			return !hit
+		})
+		if hit {
+			return true
+		}
+	}
+	return false
+}
+
+// isMapExpr decides syntactically whether expr has a map type, resolving
+// identifiers against parameters and local declarations of the enclosing
+// function. Unresolvable expressions (cross-package calls, struct fields)
+// return false: without go/types the check stays conservative and quiet
+// rather than guessing.
+func isMapExpr(expr ast.Expr, fn *ast.FuncDecl) bool {
+	t := exprType(expr, fn, 0)
+	_, ok := t.(*ast.MapType)
+	return ok
+}
+
+const maxResolveDepth = 8
+
+// exprType infers the type expression of expr within fn, or nil.
+func exprType(expr ast.Expr, fn *ast.FuncDecl, depth int) ast.Expr {
+	if depth > maxResolveDepth {
+		return nil
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		return identType(e.Name, fn, depth)
+	case *ast.IndexExpr:
+		// x[i]: indexing a slice/array yields the element, a map the value.
+		switch t := exprType(e.X, fn, depth+1).(type) {
+		case *ast.ArrayType:
+			return t.Elt
+		case *ast.MapType:
+			return t.Value
+		}
+	case *ast.CompositeLit:
+		return e.Type
+	case *ast.CallExpr:
+		if fun, ok := e.Fun.(*ast.Ident); ok && fun.Name == "make" && len(e.Args) > 0 {
+			return e.Args[0]
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return exprType(e.X, fn, depth+1)
+		}
+	case *ast.ParenExpr:
+		return exprType(e.X, fn, depth+1)
+	}
+	return nil
+}
+
+// identType finds the declared or inferred type of a name in fn: receiver,
+// parameters, then the last assignment or var declaration in the body. A
+// syntactic nearest-wins lookup — shadowing across nested scopes is rare
+// enough in this codebase to accept.
+func identType(name string, fn *ast.FuncDecl, depth int) ast.Expr {
+	if fn.Recv != nil {
+		if t := fieldType(fn.Recv, name); t != nil {
+			return t
+		}
+	}
+	if fn.Type.Params != nil {
+		if t := fieldType(fn.Type.Params, name); t != nil {
+			return t
+		}
+	}
+	var typ ast.Expr
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range s.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != name || i >= len(s.Rhs) {
+					continue
+				}
+				if t := exprType(s.Rhs[i], fn, depth+1); t != nil {
+					typ = t
+				}
+			}
+		case *ast.ValueSpec:
+			for _, id := range s.Names {
+				if id.Name == name && s.Type != nil {
+					typ = s.Type
+				}
+			}
+		}
+		return true
+	})
+	return typ
+}
+
+func fieldType(fields *ast.FieldList, name string) ast.Expr {
+	for _, f := range fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return f.Type
+			}
+		}
+	}
+	return nil
+}
+
+// importNames maps each local package name of the file to its import path.
+func importNames(file *ast.File) map[string]string {
+	m := make(map[string]string, len(file.Imports))
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		m[name] = path
+	}
+	return m
+}

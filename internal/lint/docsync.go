@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// checkDocSync is SL004: every trace event-kind constant must appear in
+// docs/METRICS.md, so the observability reference can never silently lag
+// the event stream. The check parses the EventKind const block and the
+// EventKind.String method out of the trace package, then requires each
+// kind's display string (falling back to its constant name) to occur in
+// the metrics document.
+func checkDocSync(cfg Config, fset *token.FileSet) ([]Finding, error) {
+	traceDir := filepath.Join(cfg.Root, filepath.FromSlash(cfg.TraceDir))
+	names, err := goSources(traceDir)
+	if err != nil {
+		return nil, fmt.Errorf("surfer-lint: trace package: %w", err)
+	}
+	docPath := filepath.Join(cfg.Root, filepath.FromSlash(cfg.MetricsDoc))
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("surfer-lint: metrics doc: %w", err)
+	}
+	content := string(doc)
+
+	var findings []Finding
+	for _, name := range names {
+		path := filepath.Join(traceDir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("surfer-lint: %w", err)
+		}
+		kinds := eventKindConsts(file)
+		if len(kinds) == 0 {
+			continue
+		}
+		display := kindStrings(file)
+		relFile := relSlash(cfg.Root, path)
+		fileFindings := make([]Finding, 0)
+		for _, k := range kinds {
+			want := display[k.name]
+			if want == "" {
+				want = k.name
+			}
+			if strings.Contains(content, want) {
+				continue
+			}
+			p := fset.Position(k.pos)
+			fileFindings = append(fileFindings, Finding{
+				ID:   IDDocSync,
+				File: relFile,
+				Line: p.Line,
+				Col:  p.Column,
+				Message: fmt.Sprintf("trace event kind %s (%q) is not documented in %s",
+					k.name, want, cfg.MetricsDoc),
+			})
+		}
+		suppress(fset, file, fileFindings)
+		findings = append(findings, fileFindings...)
+	}
+	return findings, nil
+}
+
+type kindConst struct {
+	name string
+	pos  token.Pos
+}
+
+// eventKindConsts returns the constants of every const block whose first
+// typed spec is EventKind — iota continuation lines inherit membership.
+func eventKindConsts(file *ast.File) []kindConst {
+	var kinds []kindConst
+	for _, decl := range file.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.CONST {
+			continue
+		}
+		inBlock := false
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if vs.Type != nil {
+				id, ok := vs.Type.(*ast.Ident)
+				inBlock = ok && id.Name == "EventKind"
+			}
+			if !inBlock {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name == "_" {
+					continue
+				}
+				kinds = append(kinds, kindConst{name: n.Name, pos: n.Pos()})
+			}
+		}
+	}
+	return kinds
+}
+
+// kindStrings extracts the constant→display-string mapping from the
+// EventKind.String method's switch (case KindX: return "x").
+func kindStrings(file *ast.File) map[string]string {
+	display := map[string]string{}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Name.Name != "String" || fn.Recv == nil || fn.Body == nil {
+			continue
+		}
+		if recv := fn.Recv.List[0].Type; !typeNamed(recv, "EventKind") {
+			continue
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			cc, ok := n.(*ast.CaseClause)
+			if !ok || len(cc.Body) != 1 {
+				return true
+			}
+			ret, ok := cc.Body[0].(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			lit, ok := ret.Results[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			for _, e := range cc.List {
+				if id, ok := e.(*ast.Ident); ok {
+					display[id.Name] = s
+				}
+			}
+			return true
+		})
+	}
+	return display
+}
+
+func typeNamed(expr ast.Expr, name string) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name == name
+	case *ast.StarExpr:
+		return typeNamed(t.X, name)
+	}
+	return false
+}

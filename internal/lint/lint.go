@@ -1,0 +1,362 @@
+// Package lint is surfer-lint: a static analyzer that proves the
+// determinism contract (DESIGN.md "Parallel execution & the determinism
+// contract") at review time instead of replay time. The engine's guarantee —
+// results and traces bit-identical across worker counts — holds only if
+// every source of nondeterminism is kept out of the deterministic packages:
+// wall clock, unseeded randomness, map iteration order feeding ordered
+// output, and ad-hoc concurrency outside the sanctioned worker pool. The
+// equivalence and chaos tests catch violations dynamically and late; this
+// analyzer catches the same classes syntactically, on every commit.
+//
+// The analyzer is stdlib-only (go/parser, go/ast, go/token — no go/types,
+// no external modules) and therefore purely syntactic: it resolves local
+// declarations within a function to decide whether a range expression is a
+// map, and skips expressions it cannot resolve rather than guessing. Each
+// check has a stable ID (SL001..SL004, see docs/LINTS.md); a finding on a
+// legitimate line is suppressed explicitly with a
+//
+//	//lint:allow SLnnn reason
+//
+// pragma on the offending line or the line directly above it. The reason is
+// mandatory — a bare pragma suppresses nothing — so every suppression is
+// auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Check IDs. Stable: tests, pragmas and docs refer to them by name.
+const (
+	// IDEntropy is SL001: wall-clock / environment / global-randomness
+	// calls in simulation packages.
+	IDEntropy = "SL001"
+	// IDMapOrder is SL002: range over a map emitting into ordered output
+	// without a subsequent sort — the PR 1 nrMR.Map bug class.
+	IDMapOrder = "SL002"
+	// IDConcurrency is SL003: go statements or multi-case selects outside
+	// the sanctioned worker pool.
+	IDConcurrency = "SL003"
+	// IDDocSync is SL004: trace event-kind constants missing from
+	// docs/METRICS.md.
+	IDDocSync = "SL004"
+)
+
+// Finding is one analyzer report. File is slash-separated and relative to
+// the configured root.
+type Finding struct {
+	ID         string `json:"id"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	// Reason is the pragma justification when Suppressed.
+	Reason string `json:"reason,omitempty"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.ID, f.Message)
+}
+
+// Config scopes the analysis.
+type Config struct {
+	// Root is the module root; findings are reported relative to it.
+	Root string
+	// DeterministicDirs are slash-relative directory prefixes under Root
+	// holding the deterministic packages: the full contract (SL001, SL002,
+	// SL003) applies.
+	DeterministicDirs []string
+	// SupportingDirs are prefixes for packages that feed the deterministic
+	// core seed-derived state (graphs, partitions, replicas, benchmarks):
+	// only the entropy check (SL001) applies — their outputs must be
+	// reproducible from seeds, but they run outside the event loop.
+	SupportingDirs []string
+	// SanctionedConcurrency lists slash-relative files allowed to spawn
+	// goroutines and select: the engine's worker pool.
+	SanctionedConcurrency []string
+	// TraceDir is the slash-relative directory of the trace package, and
+	// MetricsDoc the document every event-kind constant must appear in.
+	// Either empty disables SL004.
+	TraceDir   string
+	MetricsDoc string
+}
+
+// DefaultConfig returns the repository's real scoping: the eight
+// deterministic packages from DESIGN.md, the seed-driven supporting
+// packages, and the engine worker pool as the one sanctioned concurrency
+// site. cmd/ and examples/ are process-boundary drivers (flag parsing,
+// wall-clock progress output) and are not scanned.
+func DefaultConfig(root string) Config {
+	return Config{
+		Root: root,
+		DeterministicDirs: []string{
+			"internal/engine",
+			"internal/propagation",
+			"internal/mapreduce",
+			"internal/scheduler",
+			"internal/cluster",
+			"internal/apps",
+			"internal/fault",
+			"internal/trace",
+		},
+		SupportingDirs: []string{
+			"internal/graph",
+			"internal/partition",
+			"internal/storage",
+			"internal/core",
+			"internal/bench",
+			"internal/lint",
+			".", // the root package (surfer.go, workloads.go)
+		},
+		SanctionedConcurrency: []string{"internal/engine/parallel.go"},
+		TraceDir:              "internal/trace",
+		MetricsDoc:            "docs/METRICS.md",
+	}
+}
+
+// tier is how much of the contract applies to a file.
+type tier int
+
+const (
+	tierExempt tier = iota
+	tierSupporting
+	tierDeterministic
+)
+
+func (c *Config) tierOf(relDir string) tier {
+	for _, d := range c.DeterministicDirs {
+		if relDir == d || strings.HasPrefix(relDir, d+"/") {
+			return tierDeterministic
+		}
+	}
+	for _, d := range c.SupportingDirs {
+		if relDir == d || (d != "." && strings.HasPrefix(relDir, d+"/")) {
+			return tierSupporting
+		}
+	}
+	return tierExempt
+}
+
+// Run analyzes the packages matched by patterns under cfg.Root and returns
+// all findings (suppressed ones included, flagged), sorted by position.
+// Patterns are slash-relative to Root: "./..." (or "...") walks everything,
+// "dir/..." walks a subtree, a plain directory analyzes that one package.
+func Run(cfg Config, patterns []string) ([]Finding, error) {
+	dirs, err := expandPatterns(cfg.Root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var findings []Finding
+	for _, dir := range dirs {
+		rel := relSlash(cfg.Root, dir)
+		t := cfg.tierOf(rel)
+		if t == tierExempt {
+			continue
+		}
+		names, err := goSources(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range names {
+			path := filepath.Join(dir, name)
+			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("surfer-lint: %w", err)
+			}
+			relFile := relSlash(cfg.Root, path)
+			fileFindings := analyzeFile(fset, file, relFile, t, cfg.sanctioned(relFile))
+			suppress(fset, file, fileFindings)
+			findings = append(findings, fileFindings...)
+		}
+	}
+	if cfg.TraceDir != "" && cfg.MetricsDoc != "" {
+		docFindings, err := checkDocSync(cfg, fset)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, docFindings...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.ID < b.ID
+	})
+	return findings, nil
+}
+
+// Unsuppressed filters to the findings that fail the build.
+func Unsuppressed(all []Finding) []Finding {
+	var out []Finding
+	for _, f := range all {
+		if !f.Suppressed {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (c *Config) sanctioned(relFile string) bool {
+	for _, s := range c.SanctionedConcurrency {
+		if relFile == s {
+			return true
+		}
+	}
+	return false
+}
+
+// analyzeFile runs the per-file checks appropriate to the tier. Test files
+// are exempt from the whole contract: they may time, randomize and spawn
+// freely (the determinism suite itself races worker pools against each
+// other).
+func analyzeFile(fset *token.FileSet, file *ast.File, relFile string, t tier, sanctioned bool) []Finding {
+	if strings.HasSuffix(relFile, "_test.go") {
+		return nil
+	}
+	var findings []Finding
+	add := func(pos token.Pos, id, format string, args ...any) {
+		p := fset.Position(pos)
+		findings = append(findings, Finding{
+			ID:      id,
+			File:    relFile,
+			Line:    p.Line,
+			Col:     p.Column,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	checkEntropy(file, add)
+	if t == tierDeterministic {
+		checkMapRangeEmission(file, add)
+		if !sanctioned {
+			checkConcurrency(file, add)
+		}
+	}
+	return findings
+}
+
+// pragmaRE matches //lint:allow SLnnn reason — the reason is mandatory, so
+// suppressions are self-documenting.
+var pragmaRE = regexp.MustCompile(`^//lint:allow\s+(SL\d{3})\s+(\S.*)$`)
+
+// suppress marks findings covered by a pragma on the same line or the line
+// directly above.
+func suppress(fset *token.FileSet, file *ast.File, findings []Finding) {
+	type allow struct {
+		id     string
+		reason string
+	}
+	byLine := map[int][]allow{}
+	for _, group := range file.Comments {
+		for _, c := range group.List {
+			m := pragmaRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			byLine[line] = append(byLine[line], allow{id: m[1], reason: strings.TrimSpace(m[2])})
+		}
+	}
+	if len(byLine) == 0 {
+		return
+	}
+	for i := range findings {
+		for _, line := range []int{findings[i].Line, findings[i].Line - 1} {
+			for _, a := range byLine[line] {
+				if a.id == findings[i].ID {
+					findings[i].Suppressed = true
+					findings[i].Reason = a.reason
+				}
+			}
+		}
+	}
+}
+
+// expandPatterns resolves CLI package patterns to directories containing Go
+// sources. testdata and hidden directories are never walked.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	addTree := func(base string) error {
+		return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			if !seen[path] {
+				seen[path] = true
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		switch {
+		case pat == "..." || pat == "":
+			if err := addTree(root); err != nil {
+				return nil, err
+			}
+		case strings.HasSuffix(pat, "/..."):
+			if err := addTree(filepath.Join(root, strings.TrimSuffix(pat, "/..."))); err != nil {
+				return nil, err
+			}
+		default:
+			dir := filepath.Join(root, pat)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// goSources lists the non-test .go files of one directory, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func relSlash(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return filepath.ToSlash(path)
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,222 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// corpusConfig scopes the analyzer to the known-bad fixture tree, which
+// mirrors the repository layout (internal/engine, internal/apps, ...) so
+// the real tier classification and the sanctioned-pool carve-out are
+// exercised verbatim.
+func corpusConfig() lint.Config {
+	return lint.DefaultConfig(filepath.Join("testdata", "src"))
+}
+
+func corpusFindings(t *testing.T) []lint.Finding {
+	t.Helper()
+	findings, err := lint.Run(corpusConfig(), []string{"./..."})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return findings
+}
+
+// formatFindings renders findings in the golden format: one line per
+// finding, suppressed ones annotated with their pragma reason so the
+// suppression inventory is golden-tested too.
+func formatFindings(findings []lint.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprint(&b, f.String())
+		if f.Suppressed {
+			fmt.Fprintf(&b, " [suppressed: %s]", f.Reason)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCorpusGolden pins every finding — ID, position, message, suppression
+// state — the analyzer reports on the bad-fixture corpus.
+func TestCorpusGolden(t *testing.T) {
+	got := formatFindings(corpusFindings(t))
+	goldenPath := filepath.Join("testdata", "expected.txt")
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("corpus findings diverge from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestCorpusFailsTheBuild pins the CLI contract on the corpus: unsuppressed
+// findings exist, so surfer-lint would exit nonzero.
+func TestCorpusFailsTheBuild(t *testing.T) {
+	if n := len(lint.Unsuppressed(corpusFindings(t))); n == 0 {
+		t.Fatal("bad-fixture corpus produced no unsuppressed findings; the gate is dead")
+	}
+}
+
+// TestNRMapRegression re-introduces the PR 1 nrMR.Map bug — emitting
+// partial ranks directly from a map range — and asserts surfer-lint flags
+// it as SL002 at the range statement.
+func TestNRMapRegression(t *testing.T) {
+	var hits []lint.Finding
+	for _, f := range corpusFindings(t) {
+		if f.File == "internal/apps/nrmr_bug.go" {
+			hits = append(hits, f)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("nrmr_bug.go: want exactly 1 finding, got %d: %v", len(hits), hits)
+	}
+	f := hits[0]
+	if f.ID != lint.IDMapOrder {
+		t.Errorf("nrmr_bug.go finding ID = %s, want %s (map-range emission)", f.ID, lint.IDMapOrder)
+	}
+	if f.Suppressed {
+		t.Error("the nrMR.Map bug must not be suppressible without a pragma")
+	}
+	if !strings.Contains(f.Message, "emit") {
+		t.Errorf("finding should name the emit call, got %q", f.Message)
+	}
+}
+
+// TestPragmaSuppression covers the //lint:allow path: reasoned pragmas
+// (leading and trailing) drop findings from the exit status but keep them
+// in the stream with Suppressed=true and the reason; a pragma without a
+// reason suppresses nothing.
+func TestPragmaSuppression(t *testing.T) {
+	var sched []lint.Finding
+	for _, f := range corpusFindings(t) {
+		if f.File == "internal/scheduler/suppressed.go" {
+			sched = append(sched, f)
+		}
+	}
+	if len(sched) != 3 {
+		t.Fatalf("suppressed.go: want 3 findings (2 suppressed + 1 bare-pragma), got %d: %v", len(sched), sched)
+	}
+	var suppressed, live int
+	for _, f := range sched {
+		if f.Suppressed {
+			suppressed++
+			if f.Reason == "" {
+				t.Errorf("suppressed finding at line %d has no reason", f.Line)
+			}
+		} else {
+			live++
+		}
+	}
+	if suppressed != 2 || live != 1 {
+		t.Fatalf("want 2 suppressed + 1 live, got %d + %d", suppressed, live)
+	}
+	for _, f := range lint.Unsuppressed(sched) {
+		if f.Suppressed {
+			t.Fatal("Unsuppressed returned a suppressed finding")
+		}
+	}
+
+	// The -json contract: suppressed findings serialize with
+	// "suppressed": true and their pragma reason.
+	raw, err := json.Marshal(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"suppressed":true`) {
+		t.Errorf("JSON output lacks suppressed:true: %s", raw)
+	}
+	if !strings.Contains(string(raw), "one-shot process start stamp") {
+		t.Errorf("JSON output lacks the pragma reason: %s", raw)
+	}
+}
+
+// TestSanctionedPoolExempt pins the SL003 carve-out: the goroutine in the
+// corpus copy of internal/engine/parallel.go produces no finding, while
+// spawn.go in the same package is flagged.
+func TestSanctionedPoolExempt(t *testing.T) {
+	for _, f := range corpusFindings(t) {
+		if f.File == "internal/engine/parallel.go" {
+			t.Errorf("sanctioned worker pool flagged: %v", f)
+		}
+	}
+	var spawn int
+	for _, f := range corpusFindings(t) {
+		if f.File == "internal/engine/spawn.go" && f.ID == lint.IDConcurrency {
+			spawn++
+		}
+	}
+	// One go statement + one multi-case select; the single-case select is
+	// deterministic and exempt.
+	if spawn != 2 {
+		t.Errorf("spawn.go: want 2 SL003 findings, got %d", spawn)
+	}
+}
+
+// TestDocSync pins SL004: the fixture metrics doc omits exactly the
+// "spill" kind.
+func TestDocSync(t *testing.T) {
+	var docs []lint.Finding
+	for _, f := range corpusFindings(t) {
+		if f.ID == lint.IDDocSync {
+			docs = append(docs, f)
+		}
+	}
+	if len(docs) != 1 {
+		t.Fatalf("want 1 SL004 finding, got %d: %v", len(docs), docs)
+	}
+	if !strings.Contains(docs[0].Message, "KindSpill") || !strings.Contains(docs[0].Message, `"spill"`) {
+		t.Errorf("SL004 message should name KindSpill and its display string, got %q", docs[0].Message)
+	}
+}
+
+// TestDirPattern checks non-recursive package patterns: analyzing only
+// internal/scheduler must not surface engine findings.
+func TestDirPattern(t *testing.T) {
+	cfg := corpusConfig()
+	cfg.TraceDir, cfg.MetricsDoc = "", "" // scope to the one package
+	findings, err := lint.Run(cfg, []string{"internal/scheduler"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		if !strings.HasPrefix(f.File, "internal/scheduler/") {
+			t.Errorf("pattern leak: %v", f)
+		}
+	}
+	if len(findings) != 3 {
+		t.Errorf("internal/scheduler: want 3 findings, got %d", len(findings))
+	}
+}
+
+// TestRepoIsClean runs the real configuration over the real tree: the
+// determinism contract holds on every commit, with all suppressions
+// carrying reasons. This is the same gate ci.sh runs via the CLI.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skipf("module root not found: %v", err)
+	}
+	findings, err := lint.Run(lint.DefaultConfig(root), []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live := lint.Unsuppressed(findings); len(live) > 0 {
+		t.Errorf("determinism contract violated on the current tree:\n%s", formatFindings(live))
+	}
+	for _, f := range findings {
+		if f.Suppressed && f.Reason == "" {
+			t.Errorf("suppression without reason: %v", f)
+		}
+	}
+}

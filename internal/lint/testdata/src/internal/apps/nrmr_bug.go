@@ -1,0 +1,40 @@
+// Package apps fixture: the exact PR 1 nrMR.Map bug, preserved as a
+// regression corpus for SL002. The map-range emits partial ranks straight
+// out of the hash table, so the value sequence reaching each reducer — and
+// the non-associative float sums it computes — follow the runtime's
+// randomized map iteration order.
+package apps
+
+type vertexID uint32
+
+type nrMRBug struct {
+	ranks []float64
+}
+
+type partInfo struct {
+	Vertices []vertexID
+}
+
+type adjacency interface {
+	OutDegree(vertexID) int
+	Neighbors(vertexID) []vertexID
+}
+
+const damping = 0.85
+
+func (p *nrMRBug) Map(pi *partInfo, g adjacency, emit func(vertexID, float64)) {
+	rTable := make(map[vertexID]float64)
+	for _, u := range pi.Vertices {
+		deg := g.OutDegree(u)
+		if deg == 0 {
+			continue
+		}
+		delta := p.ranks[u] * damping / float64(deg)
+		for _, v := range g.Neighbors(u) {
+			rTable[v] += delta
+		}
+	}
+	for v, r := range rTable {
+		emit(v, r)
+	}
+}

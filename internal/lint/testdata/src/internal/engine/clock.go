@@ -1,0 +1,31 @@
+// Package engine fixture: every SL001 entropy class in one file — wall
+// clock, ambient environment, the global rand source (under an alias, to
+// prove import resolution), plus the seeded-constructor idiom that must
+// stay clean.
+package engine
+
+import (
+	mrand "math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() float64 {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start).Seconds()
+}
+
+func ambient() string {
+	return os.Getenv("SURFER_WORKERS")
+}
+
+func globalRand() int {
+	return mrand.Intn(10)
+}
+
+// seeded draws from a plumbed source: the sanctioned idiom, no finding.
+func seeded(seed int64) int {
+	rng := mrand.New(mrand.NewSource(seed))
+	return rng.Intn(10)
+}

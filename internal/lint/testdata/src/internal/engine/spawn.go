@@ -1,0 +1,24 @@
+// Package engine fixture: ad-hoc concurrency for SL003 — a goroutine and
+// a multi-case select outside the sanctioned worker pool. The single-case
+// receive at the end is deterministic and must not be flagged.
+package engine
+
+func spawn(work func(int), results chan int) int {
+	for i := 0; i < 4; i++ {
+		go work(i)
+	}
+	done := make(chan int)
+	select {
+	case v := <-results:
+		return v
+	case v := <-done:
+		return v
+	}
+}
+
+func drain(results chan int) int {
+	select {
+	case v := <-results:
+		return v
+	}
+}

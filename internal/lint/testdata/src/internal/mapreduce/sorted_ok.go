@@ -1,0 +1,50 @@
+// Package mapreduce fixture: the SL002 boundary. sortedKeys-style
+// collection (append keys, sort, then emit over the slice) and map-to-map
+// rekeying are sanctioned; an unsorted append, a channel send and a
+// recorder Emit inside a map range are the bug class.
+package mapreduce
+
+import "sort"
+
+type recorder struct{}
+
+func (recorder) Emit(k int, v float64) {}
+
+// shuffleSorted is the fixed nrMR.Map shape: no findings.
+func shuffleSorted(table map[int]float64, emit func(int, float64)) {
+	keys := make([]int, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		emit(k, table[k])
+	}
+}
+
+// rekey writes map-to-map: order-independent, no finding.
+func rekey(in map[int]float64) map[int]float64 {
+	out := make(map[int]float64, len(in))
+	for k, v := range in {
+		out[k+1] = v
+	}
+	return out
+}
+
+// collectUnsorted appends values in map order and never sorts: SL002.
+func collectUnsorted(table map[int]float64) []float64 {
+	var vals []float64
+	for _, v := range table {
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// streamOut sends on a channel and emits to a recorder in map order: two
+// SL002 findings in one range body.
+func streamOut(table map[int]float64, ch chan float64, rec recorder) {
+	for k, v := range table {
+		ch <- v
+		rec.Emit(k, v)
+	}
+}

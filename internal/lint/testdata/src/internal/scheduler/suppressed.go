@@ -1,0 +1,15 @@
+// Package scheduler fixture: the pragma path. The first finding is
+// suppressed by a reasoned //lint:allow on the line above, the second by a
+// trailing pragma; the third pragma has no reason and must NOT suppress.
+package scheduler
+
+import "time"
+
+func startupStamp() (time.Time, time.Time, time.Time) {
+	//lint:allow SL001 one-shot process start stamp, never enters virtual time
+	a := time.Now()
+	b := time.Now() //lint:allow SL001 trailing-pragma form of the same stamp
+	//lint:allow SL001
+	c := time.Now()
+	return a, b, c
+}

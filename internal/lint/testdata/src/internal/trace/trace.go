@@ -1,0 +1,25 @@
+// Package trace fixture for SL004: three event kinds with String
+// mappings; the metrics doc next to this corpus documents task-start and
+// transfer but not spill — exactly one finding, at KindSpill.
+package trace
+
+type EventKind uint8
+
+const (
+	KindTaskStart EventKind = iota
+	KindTransfer
+	KindSpill
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindTaskStart:
+		return "task-start"
+	case KindTransfer:
+		return "transfer"
+	case KindSpill:
+		return "spill"
+	default:
+		return "unknown"
+	}
+}
