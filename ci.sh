@@ -5,7 +5,9 @@
 # so -race exercises the concurrent Transfer/Combine/Map/Reduce paths for
 # real data races. The smoke step then exercises the observability layer
 # end to end: generate a graph, run a traced NR job on the heterogeneous
-# topology, and validate the emitted Chrome trace JSON.
+# topology, validate both trace exports, attribute the run's makespan with
+# surfer-analyze, and check the bench -json report against its own schema
+# via the -compare gate.
 set -eux
 
 test -z "$(gofmt -l .)"
@@ -29,5 +31,22 @@ smoke=$(mktemp -d)
 trap 'rm -rf "$smoke"' EXIT
 go run ./cmd/surfer-gen -kind social -vertices 4096 -seed 42 -out "$smoke/g.srfg"
 go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t3 \
-    -machines 8 -levels 2 -trace "$smoke/trace.json"
+    -machines 8 -levels 2 -trace "$smoke/trace.json" -events "$smoke/run.events"
 go run ./cmd/surfer-trace -in "$smoke/trace.json"
+go run ./cmd/surfer-trace -in "$smoke/run.events" -breakdown
+# Critical-path analysis gate: the analyzer must accept its own capture
+# (nonzero exit on a malformed or acausal stream) and emit the blame table.
+go run ./cmd/surfer-analyze -trace "$smoke/run.events" > "$smoke/report.txt"
+grep -q "blame attribution" "$smoke/report.txt"
+# Bench report schema + regression gate: a small table1 run must emit a
+# valid surfer-bench/v1 report, and comparing it against itself must pass.
+go run ./cmd/surfer-bench -experiment table1 -vertices 8192 -machines 8 \
+    -levels 3 -json "$smoke/bench.json" > /dev/null
+go run ./cmd/surfer-analyze -compare "$smoke/bench.json" "$smoke/bench.json" -threshold 5%
+# And a tampered copy (parmetis_seconds inflated ~10x) must fail the gate.
+sed 's/"parmetis_seconds": \([0-9]\)/"parmetis_seconds": 9\1/' \
+    "$smoke/bench.json" > "$smoke/bench-bad.json"
+if go run ./cmd/surfer-analyze -compare "$smoke/bench.json" "$smoke/bench-bad.json" -threshold 5%; then
+    echo "compare gate failed to catch a regression" >&2
+    exit 1
+fi

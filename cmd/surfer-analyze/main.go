@@ -1,0 +1,155 @@
+// surfer-analyze turns raw event streams (surfer-run -events /
+// surfer-bench -events) into critical-path reports, diffs two runs, and
+// gates bench reports against a baseline.
+//
+// Usage:
+//
+//	surfer-analyze -trace run.events [-json]
+//	surfer-analyze -diff a.events b.events [-json]
+//	surfer-analyze -compare old.json new.json [-threshold 5%]
+//
+// -trace reconstructs the causal DAG from one stream, extracts the
+// critical path, and attributes every second of the makespan to a blame
+// category (see docs/METRICS.md §6). -diff analyzes two streams of the
+// same workload and reports per-stage / per-category deltas plus the
+// regressing links and machines. -compare checks a surfer-bench -json
+// report against a baseline and exits nonzero when any gated metric
+// regressed past the threshold, which makes it usable as a CI gate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/analyze"
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-analyze: ")
+	var (
+		traceIn   = flag.String("trace", "", "raw event stream to analyze (from surfer-run -events)")
+		doDiff    = flag.Bool("diff", false, "diff two raw event streams given as positional args: A.events B.events")
+		doCompare = flag.Bool("compare", false, "gate a bench report against a baseline, positional args: old.json new.json")
+		threshold = flag.String("threshold", "5%", "regression threshold for -compare (percent; trailing % optional)")
+		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of text")
+	)
+	flag.Parse()
+	// The issue-standard invocation puts flags after the positional files
+	// ("-compare old.json new.json -threshold 5%"); stdlib flag stops at the
+	// first positional, so re-parse interleaved flags ourselves.
+	var args []string
+	for rest := flag.Args(); len(rest) > 0; {
+		if strings.HasPrefix(rest[0], "-") {
+			flag.CommandLine.Parse(rest)
+			rest = flag.CommandLine.Args()
+			continue
+		}
+		args = append(args, rest[0])
+		rest = rest[1:]
+	}
+
+	switch {
+	case *doCompare:
+		if len(args) != 2 {
+			log.Fatal("-compare wants two positional args: old.json new.json")
+		}
+		pct, err := parseThreshold(*threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runCompare(args[0], args[1], pct)
+	case *doDiff:
+		if len(args) != 2 {
+			log.Fatal("-diff wants two positional args: A.events B.events")
+		}
+		a := analyzeFile(args[0])
+		b := analyzeFile(args[1])
+		d := analyze.Diff(a, b)
+		if *asJSON {
+			must(analyze.WriteDiffJSON(os.Stdout, d))
+		} else {
+			must(analyze.WriteDiffText(os.Stdout, d))
+		}
+	case *traceIn != "":
+		r := analyzeFile(*traceIn)
+		if *asJSON {
+			must(analyze.WriteJSON(os.Stdout, r))
+		} else {
+			must(analyze.WriteText(os.Stdout, r))
+		}
+	default:
+		log.Fatal("nothing to do: want -trace f, -diff a b, or -compare old new")
+	}
+}
+
+// analyzeFile loads a raw event stream and runs the critical-path
+// analysis. A topology header in the stream enables the link-utilization
+// section; without one the report simply omits it.
+func analyzeFile(path string) *analyze.Report {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.ReadEvents(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	var topo *cluster.Topology
+	if s.Topo != nil {
+		topo = cluster.NewTopologyFromMatrix(s.Topo.Name, s.Topo.Bandwidth)
+	}
+	r, err := analyze.Analyze(s.Events, topo)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return r
+}
+
+// runCompare loads two bench reports and exits 1 when any gated metric in
+// new exceeds old by more than pct percent.
+func runCompare(oldPath, newPath string, pct float64) {
+	old, err := bench.LoadReport(oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cur, err := bench.LoadReport(newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	regs := bench.Compare(old, cur, pct)
+	if len(regs) == 0 {
+		fmt.Printf("compare: OK (%d entries, threshold %.1f%%)\n", len(cur.Entries), pct)
+		return
+	}
+	for _, r := range regs {
+		fmt.Printf("REGRESSION %s/%s %s: %.6f -> %.6f (+%.1f%%)\n",
+			r.Experiment, r.Case, r.Metric, r.Old, r.New, r.Pct)
+	}
+	fmt.Printf("compare: %d regression(s) past %.1f%% threshold\n", len(regs), pct)
+	os.Exit(1)
+}
+
+// parseThreshold accepts "5", "5%", "2.5%".
+func parseThreshold(s string) (float64, error) {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad -threshold %q (want a percentage like 5%%)", s)
+	}
+	return v, nil
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -36,13 +36,19 @@ func main() {
 		parallelOut = flag.String("parallel-out", "BENCH_parallel.json", "output file for the parallel experiment")
 		appsDir     = flag.String("appsdir", "", "path to internal/apps for table4 (auto-detected)")
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON timeline of every simulated run to this file")
+		eventsOut   = flag.String("events", "", "write the raw event stream of every simulated run to this file for surfer-analyze")
+		jsonOut     = flag.String("json", "", "write a machine-readable bench report (surfer-bench/v1 schema) to this file for surfer-analyze -compare")
 		faultsPath  = flag.String("faults", "", "JSON fault-schedule file (kills, degraded links, drop windows, slowdowns) injected into every simulated run")
 	)
 	flag.Parse()
 
 	var rec *trace.Recorder
-	if *traceOut != "" {
+	if *traceOut != "" || *eventsOut != "" {
 		rec = trace.NewRecorder()
+	}
+	var jsonReport *bench.Report
+	if *jsonOut != "" {
+		jsonReport = bench.NewReport()
 	}
 	s := bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed, Workers: *workers, Trace: rec}
 	if *faultsPath != "" {
@@ -81,6 +87,9 @@ func main() {
 		}
 		var err error
 		cells23, err = bench.Tables23(s)
+		if err == nil && jsonReport != nil {
+			jsonReport.Merge(bench.FromTables23(cells23))
+		}
 		return err
 	}
 
@@ -90,6 +99,9 @@ func main() {
 			return err
 		}
 		bench.WriteTable1(os.Stdout, rows)
+		if jsonReport != nil {
+			jsonReport.Merge(bench.FromTable1(rows))
+		}
 		return nil
 	})
 	run("table2", func() error {
@@ -191,6 +203,9 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *parallelOut)
+			if jsonReport != nil {
+				jsonReport.Merge(bench.FromParallel(res))
+			}
 			return nil
 		})
 	}
@@ -203,7 +218,7 @@ func main() {
 		return nil
 	})
 
-	if rec != nil {
+	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
 			log.Fatalf("writing trace: %v", err)
@@ -216,5 +231,31 @@ func main() {
 			log.Fatalf("writing trace: %v", err)
 		}
 		fmt.Printf("wrote %s (%d events)\n", *traceOut, rec.Len())
+	}
+	if *eventsOut != "" {
+		// The bench harness runs many deployments over different topologies,
+		// so the combined stream carries no single topology header; the
+		// analyzer simply skips its link-utilization section.
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatalf("writing events: %v", err)
+		}
+		if err := trace.WriteEvents(f, nil, rec.Events()); err != nil {
+			f.Close()
+			log.Fatalf("writing events: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing events: %v", err)
+		}
+		fmt.Printf("wrote %s (%d events)\n", *eventsOut, rec.Len())
+	}
+	if jsonReport != nil {
+		if err := jsonReport.Validate(); err != nil {
+			log.Fatalf("bench report: %v", err)
+		}
+		if err := bench.WriteReport(*jsonOut, jsonReport); err != nil {
+			log.Fatalf("writing bench report: %v", err)
+		}
+		fmt.Printf("wrote %s (%d entries)\n", *jsonOut, len(jsonReport.Entries))
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "random seed")
 		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
+		eventsOut = flag.String("events", "", "write the raw event stream (with topology header) to this file for surfer-analyze / surfer-trace -breakdown")
 		failSpec  = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3; failed partitions fail over to replicas")
 		heartbeat = flag.Float64("heartbeat", 0, "failure-detection latency in virtual seconds (0 = engine default, 1s)")
 	)
@@ -78,7 +79,7 @@ func main() {
 		log.Fatal(err)
 	}
 	var rec *trace.Recorder
-	if *traceOut != "" {
+	if *traceOut != "" || *eventsOut != "" {
 		rec = trace.NewRecorder()
 	}
 	s := bench.Scale{
@@ -118,11 +119,17 @@ func main() {
 	default:
 		log.Fatalf("unknown primitive %q", *primitive)
 	}
-	if rec != nil {
+	if *traceOut != "" {
 		if err := writeTrace(*traceOut, rec); err != nil {
 			log.Fatalf("writing trace: %v", err)
 		}
 		fmt.Printf("trace:              %s (%d events)\n", *traceOut, rec.Len())
+	}
+	if *eventsOut != "" {
+		if err := writeEvents(*eventsOut, rec, topo); err != nil {
+			log.Fatalf("writing events: %v", err)
+		}
+		fmt.Printf("events:             %s (%d events)\n", *eventsOut, rec.Len())
 	}
 }
 
@@ -158,6 +165,19 @@ func writeTrace(path string, rec *trace.Recorder) error {
 		return err
 	}
 	if err := trace.WriteChrome(f, rec.Events()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeEvents(path string, rec *trace.Recorder, topo *cluster.Topology) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	ti := &trace.TopoInfo{Name: topo.Name(), Machines: topo.NumMachines(), Bandwidth: topo.BandwidthMatrix()}
+	if err := trace.WriteEvents(f, ti, rec.Events()); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,24 +1,34 @@
-// surfer-trace validates and summarizes a Chrome trace_event JSON file
-// produced by surfer-run -trace or surfer-bench -trace. It parses the file,
-// checks the structural invariants of the exporter (required fields per
-// phase type, non-negative timestamps and durations), and prints a short
-// summary. A malformed file exits nonzero, which makes the tool usable as a
-// CI gate.
+// surfer-trace validates and summarizes trace files. It understands both
+// export formats: the Chrome trace_event JSON written by -trace (a
+// rendering for chrome://tracing) and the raw event stream written by
+// -events (the exact engine stream, causal edges included). The format is
+// sniffed from the file, structural invariants are checked, and a short
+// summary is printed; a malformed file exits nonzero, which makes the tool
+// usable as a CI gate.
 //
 // Usage:
 //
 //	surfer-trace -in trace.json
+//	surfer-trace -in run.events -breakdown
+//
+// -breakdown prints the job → stage → machine accounting table
+// (trace.Summarize) and needs the raw stream; Chrome exports drop the
+// information it is computed from.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+
+	"repro/internal/trace"
 )
 
-// traceFile mirrors the exporter's top-level object.
+// traceFile mirrors the Chrome exporter's top-level object.
 type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 	TraceEvents     []traceEvent `json:"traceEvents"`
@@ -40,7 +50,8 @@ type traceEvent struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surfer-trace: ")
-	in := flag.String("in", "", "Chrome trace_event JSON file to validate")
+	in := flag.String("in", "", "trace file to validate (Chrome trace_event JSON or raw event stream)")
+	breakdown := flag.Bool("breakdown", false, "print the job→stage→machine accounting table (raw event streams only)")
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("missing -in trace.json")
@@ -50,12 +61,109 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	if isRawStream(data) {
+		checkRaw(*in, data, *breakdown)
+		return
+	}
+	if *breakdown {
+		log.Fatalf("%s: -breakdown needs a raw event stream (surfer-run -events); Chrome exports drop the event fields it is computed from", *in)
+	}
+	checkChrome(*in, data)
+}
+
+// isRawStream sniffs the raw-trace format marker without committing to a
+// full parse.
+func isRawStream(data []byte) bool {
+	var probe struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	return probe.Format == trace.StreamFormat
+}
+
+// checkRaw validates a raw event stream (ReadEvents enforces the seq/cause
+// invariants) and summarizes it; with breakdown it prints the full
+// job → stage → machine table.
+func checkRaw(path string, data []byte, breakdown bool) {
+	s, err := trace.ReadEvents(bytes.NewReader(data))
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	var maxEnd float64
+	for i := range s.Events {
+		if t := s.Events[i].Time; t > maxEnd {
+			maxEnd = t
+		}
+		if e := s.Events[i].End; e > maxEnd {
+			maxEnd = e
+		}
+	}
+	fmt.Printf("%s: OK (raw event stream v%d)\n", path, s.Version)
+	fmt.Printf("events:    %d\n", len(s.Events))
+	if s.Topo != nil {
+		fmt.Printf("topology:  %s (%d machines)\n", s.Topo.Name, s.Topo.Machines)
+	}
+	fmt.Printf("time span: %.3f ms virtual\n", maxEnd*1e3)
+	if breakdown {
+		fmt.Println()
+		printBreakdown(trace.Summarize(s.Events))
+	}
+}
+
+// printBreakdown renders the Summarize hierarchy as text.
+func printBreakdown(b *trace.Breakdown) {
+	fmt.Printf("breakdown (job -> stage -> machine)\n")
+	for _, jb := range b.Jobs {
+		fmt.Printf("job %-24s [%10.6f .. %10.6f]\n", jb.Name, jb.Begin, jb.End)
+		for _, sb := range jb.Stages {
+			fmt.Printf("  stage %-20s [%10.6f .. %10.6f]\n", sb.Name, sb.Begin, sb.End)
+			for _, mb := range sb.Machines {
+				fmt.Printf("    m%-3d compute=%.6fs tasks=%d egress=%dB/%.6fs ingress=%dB/%.6fs stall=%.6fs incast=%.6fs",
+					mb.Machine, mb.ComputeSeconds, mb.TasksRun,
+					mb.EgressBytes, mb.EgressBusySeconds,
+					mb.IngressBytes, mb.IngressBusySeconds,
+					mb.StallSeconds, mb.IncastStallSeconds)
+				if mb.Retries > 0 {
+					fmt.Printf(" retries=%d", mb.Retries)
+				}
+				if mb.TasksLost > 0 {
+					fmt.Printf(" lost=%d", mb.TasksLost)
+				}
+				if mb.TransferDrops > 0 {
+					fmt.Printf(" drops=%d dropstall=%.6fs", mb.TransferDrops, mb.DropStallSeconds)
+				}
+				if mb.TransferRetries > 0 {
+					fmt.Printf(" xfer-retries=%d", mb.TransferRetries)
+				}
+				if mb.Speculations > 0 {
+					fmt.Printf(" speculations=%d", mb.Speculations)
+				}
+				if mb.Failed {
+					fmt.Printf(" FAILED")
+				}
+				fmt.Printf("\n")
+			}
+		}
+	}
+	if b.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d (%s)\n", b.Checkpoints, strings.Join(b.CheckpointJobs, ", "))
+	}
+	if b.Restores > 0 {
+		fmt.Printf("restores:    %d (%s)\n", b.Restores, strings.Join(b.RestoreJobs, ", "))
+	}
+}
+
+// checkChrome validates a Chrome trace_event export.
+func checkChrome(path string, data []byte) {
 	var tf traceFile
 	if err := json.Unmarshal(data, &tf); err != nil {
-		log.Fatalf("%s: invalid JSON: %v", *in, err)
+		log.Fatalf("%s: invalid JSON: %v", path, err)
 	}
 	if len(tf.TraceEvents) == 0 {
-		log.Fatalf("%s: no trace events", *in)
+		log.Fatalf("%s: no trace events", path)
 	}
 
 	byPhase := map[string]int{}
@@ -67,10 +175,10 @@ func main() {
 		switch ev.Ph {
 		case "X":
 			if ev.Dur == nil {
-				log.Fatalf("%s: event %d (%q): complete event without dur", *in, i, ev.Name)
+				log.Fatalf("%s: event %d (%q): complete event without dur", path, i, ev.Name)
 			}
 			if *ev.Dur < 0 {
-				log.Fatalf("%s: event %d (%q): negative duration %v", *in, i, ev.Name, *ev.Dur)
+				log.Fatalf("%s: event %d (%q): negative duration %v", path, i, ev.Name, *ev.Dur)
 			}
 			if end := ev.Ts + *ev.Dur; end > maxEnd {
 				maxEnd = end
@@ -81,17 +189,17 @@ func main() {
 		case "M":
 			// metadata events carry no timing
 		default:
-			log.Fatalf("%s: event %d (%q): unexpected phase %q", *in, i, ev.Name, ev.Ph)
+			log.Fatalf("%s: event %d (%q): unexpected phase %q", path, i, ev.Name, ev.Ph)
 		}
 		if ev.Ph != "M" {
 			if ev.Ts < 0 {
-				log.Fatalf("%s: event %d (%q): negative timestamp %v", *in, i, ev.Name, ev.Ts)
+				log.Fatalf("%s: event %d (%q): negative timestamp %v", path, i, ev.Name, ev.Ts)
 			}
 			pids[ev.Pid] = true
 		}
 	}
 
-	fmt.Printf("%s: OK\n", *in)
+	fmt.Printf("%s: OK\n", path)
 	fmt.Printf("events:    %d (%d spans, %d instants, %d metadata)\n",
 		len(tf.TraceEvents), spans, instants, byPhase["M"])
 	fmt.Printf("processes: %d\n", len(pids))

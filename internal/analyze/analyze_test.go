@@ -1,0 +1,257 @@
+package analyze
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+	"repro/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// t3Run executes the analyzer's acceptance workload — the same traced T3
+// PageRank the observability layer pins (trace_test.go) — and returns the
+// raw event stream plus the topology. withFaults injects a seeded schedule
+// of transient link faults so the retry machinery exercises the causal
+// edges too.
+func t3Run(t *testing.T, workers int, withFaults bool) ([]trace.Event, *cluster.Topology) {
+	t.Helper()
+	g := graph.Social(graph.DefaultSocial(2048, 7))
+	topo := cluster.NewT3(8, 7)
+	pt, sk := partition.RecursiveBisect(g, 2, partition.Options{Seed: 7})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := partition.SketchPlacement(sk, topo)
+	rec := trace.NewRecorder()
+	cfg := engine.Config{Topo: topo, Workers: workers, Trace: rec}
+	if withFaults {
+		// Horizon ≈ the fault-free makespan so the windows overlap real
+		// transfers; drops are the interesting case (timeout + backoff).
+		sched, _ := fault.Generate(fault.GenConfig{
+			Machines: 8, Horizon: 0.004, Degrades: 2, Drops: 2, Slowdowns: 1, Seed: 2,
+		})
+		if err := sched.Validate(8); err != nil {
+			t.Fatal(err)
+		}
+		cfg.Faults = sched
+	}
+	r := engine.New(cfg)
+	app := apps.NewNR(3)
+	if _, _, err := app.RunPropagation(r, pg, pl,
+		propagation.Options{LocalPropagation: true, LocalCombination: true}); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events(), topo
+}
+
+// TestBlameSumsToMakespan is the tentpole's acceptance criterion: on the T3
+// workload the analyzer attributes 100% of the makespan — the blame
+// categories sum to the makespan within float tolerance.
+func TestBlameSumsToMakespan(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		events, topo := t3Run(t, 1, withFaults)
+		r, err := Analyze(events, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Makespan <= 0 {
+			t.Fatalf("faults=%v: nonpositive makespan %v", withFaults, r.Makespan)
+		}
+		sum := 0.0
+		for _, cat := range Categories {
+			v, ok := r.Blame[cat]
+			if !ok {
+				t.Fatalf("faults=%v: category %s missing from blame map", withFaults, cat)
+			}
+			if v < 0 {
+				t.Fatalf("faults=%v: negative blame %s=%v", withFaults, cat, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-r.Makespan) > 1e-9*math.Max(1, r.Makespan) {
+			t.Fatalf("faults=%v: blame sums to %v, makespan %v (diff %g)",
+				withFaults, sum, r.Makespan, sum-r.Makespan)
+		}
+		// Per-stage rows are a partition of the same total.
+		stageSum := 0.0
+		for _, row := range r.Stages {
+			stageSum += row.Total
+		}
+		if math.Abs(stageSum-r.Makespan) > 1e-9*math.Max(1, r.Makespan) {
+			t.Fatalf("faults=%v: stage rows sum to %v, makespan %v", withFaults, stageSum, r.Makespan)
+		}
+		if r.Blame[CatCompute] <= 0 {
+			t.Fatalf("faults=%v: compute got no blame: %+v", withFaults, r.Blame)
+		}
+		if withFaults && r.Blame[CatRetry] <= 0 {
+			t.Fatalf("fault run attributed nothing to retry-backoff: %+v", r.Blame)
+		}
+	}
+}
+
+// TestReportDeterminism pins the determinism contract end to end: the
+// rendered critical-path report — text and JSON — is byte-identical for
+// Workers 1, 4 and 8, with and without a seeded fault schedule.
+func TestReportDeterminism(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		render := func(workers int) ([]byte, []byte) {
+			events, topo := t3Run(t, workers, withFaults)
+			r, err := Analyze(events, topo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var text, js bytes.Buffer
+			if err := WriteText(&text, r); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteJSON(&js, r); err != nil {
+				t.Fatal(err)
+			}
+			return text.Bytes(), js.Bytes()
+		}
+		text1, js1 := render(1)
+		for _, workers := range []int{4, 8} {
+			textN, jsN := render(workers)
+			if !bytes.Equal(text1, textN) {
+				t.Fatalf("faults=%v: text report with Workers=%d differs from Workers=1", withFaults, workers)
+			}
+			if !bytes.Equal(js1, jsN) {
+				t.Fatalf("faults=%v: JSON report with Workers=%d differs from Workers=1", withFaults, workers)
+			}
+		}
+	}
+}
+
+// TestDiffIdentity: diffing a report against itself yields all-zero deltas,
+// and the rendered diff is byte-identical across worker counts.
+func TestDiffIdentity(t *testing.T) {
+	events, topo := t3Run(t, 1, false)
+	r, err := Analyze(events, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Diff(r, r)
+	if d.Delta != 0 {
+		t.Fatalf("self-diff makespan delta %v", d.Delta)
+	}
+	for _, cd := range d.Categories {
+		if cd.Delta != 0 {
+			t.Fatalf("self-diff category %s delta %v", cd.Category, cd.Delta)
+		}
+	}
+	for _, sd := range d.Stages {
+		if sd.Delta != 0 || sd.Worst != "" {
+			t.Fatalf("self-diff stage %s delta %v worst %q", sd.Label, sd.Delta, sd.Worst)
+		}
+	}
+
+	renderDiff := func(workers int) []byte {
+		events, topo := t3Run(t, workers, false)
+		a, err := Analyze(events, topo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eventsF, topoF := t3Run(t, workers, true)
+		b, err := Analyze(eventsF, topoF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteDiffText(&buf, Diff(a, b)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	d1 := renderDiff(1)
+	for _, workers := range []int{4, 8} {
+		if !bytes.Equal(d1, renderDiff(workers)) {
+			t.Fatalf("diff report with Workers=%d differs from Workers=1", workers)
+		}
+	}
+	// The fault run is slower, and the slowdown lands on retry-backoff.
+	eventsF, topoF := t3Run(t, 1, true)
+	b, err := Analyze(eventsF, topoF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := Diff(r, b)
+	if dd.Delta <= 0 {
+		t.Fatalf("fault run not slower: delta %v", dd.Delta)
+	}
+}
+
+// TestGoldenReport pins the exact text report of the bundled example
+// workload (run with -update to regenerate after an intentional change).
+func TestGoldenReport(t *testing.T) {
+	events, topo := t3Run(t, 1, false)
+	r, err := Analyze(events, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "critical_path_t3.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("critical-path report drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestRoundTripThroughStream: analyzing a stream after a WriteEvents /
+// ReadEvents round trip gives the identical report — the raw file format
+// loses nothing the analyzer needs.
+func TestRoundTripThroughStream(t *testing.T) {
+	events, topo := t3Run(t, 1, true)
+	direct, err := Analyze(events, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file bytes.Buffer
+	ti := &trace.TopoInfo{Name: topo.Name(), Machines: topo.NumMachines(), Bandwidth: topo.BandwidthMatrix()}
+	if err := trace.WriteEvents(&file, ti, events); err != nil {
+		t.Fatal(err)
+	}
+	s, err := trace.ReadEvents(&file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Analyze(s.Events, cluster.NewTopologyFromMatrix(s.Topo.Name, s.Topo.Bandwidth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := WriteText(&a, direct); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteText(&b, rt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("report after stream round trip differs from direct analysis")
+	}
+}

@@ -1,0 +1,176 @@
+package analyze
+
+import "sort"
+
+// Trace diff: given the analyses of two runs of the same workload, report
+// where the time went differently — per blame category, per stage, and
+// (when topology headers were present) which links and machines regressed.
+// Positive deltas mean B is slower/busier than A.
+
+// CategoryDelta is one blame category's change.
+type CategoryDelta struct {
+	Category string  `json:"category"`
+	A        float64 `json:"a"`
+	B        float64 `json:"b"`
+	Delta    float64 `json:"delta"`
+}
+
+// StageDelta is one stage row's change; Worst names the category that
+// regressed most within the stage (empty when the stage got faster).
+type StageDelta struct {
+	Label string  `json:"label"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+	Worst string  `json:"worst,omitempty"`
+}
+
+// LinkDelta is a directed link's busy-seconds change.
+type LinkDelta struct {
+	Src   int     `json:"src"`
+	Dst   int     `json:"dst"`
+	Level int     `json:"level"`
+	A     float64 `json:"a"`
+	B     float64 `json:"b"`
+	Delta float64 `json:"delta"`
+}
+
+// MachineDelta is a machine's compute busy-seconds change.
+type MachineDelta struct {
+	Machine int     `json:"machine"`
+	A       float64 `json:"a"`
+	B       float64 `json:"b"`
+	Delta   float64 `json:"delta"`
+}
+
+// DiffReport is the delta view of two analyses.
+type DiffReport struct {
+	MakespanA  float64         `json:"makespan_a"`
+	MakespanB  float64         `json:"makespan_b"`
+	Delta      float64         `json:"delta"`
+	Categories []CategoryDelta `json:"categories"`
+	Stages     []StageDelta    `json:"stages"`
+	// Links / Machines list the five worst regressions (largest positive
+	// delta first); Links is empty when either trace lacked a topology.
+	Links    []LinkDelta    `json:"links,omitempty"`
+	Machines []MachineDelta `json:"machines,omitempty"`
+}
+
+// Diff compares two analyses of the same workload.
+func Diff(a, b *Report) *DiffReport {
+	d := &DiffReport{
+		MakespanA: a.Makespan,
+		MakespanB: b.Makespan,
+		Delta:     b.Makespan - a.Makespan,
+	}
+	for _, cat := range Categories {
+		d.Categories = append(d.Categories, CategoryDelta{
+			Category: cat, A: a.Blame[cat], B: b.Blame[cat], Delta: b.Blame[cat] - a.Blame[cat],
+		})
+	}
+
+	// Stages: B's chronological order first, then rows only A has.
+	aRows := make(map[string]*StageBlame, len(a.Stages))
+	for _, r := range a.Stages {
+		aRows[r.Label] = r
+	}
+	bSeen := make(map[string]bool, len(b.Stages))
+	for _, rb := range b.Stages {
+		bSeen[rb.Label] = true
+		sd := StageDelta{Label: rb.Label, B: rb.Total}
+		worst := 0.0
+		if ra := aRows[rb.Label]; ra != nil {
+			sd.A = ra.Total
+			for _, cat := range Categories {
+				if dd := rb.Seconds[cat] - ra.Seconds[cat]; dd > worst {
+					worst, sd.Worst = dd, cat
+				}
+			}
+		} else {
+			for _, cat := range Categories {
+				if dd := rb.Seconds[cat]; dd > worst {
+					worst, sd.Worst = dd, cat
+				}
+			}
+		}
+		sd.Delta = sd.B - sd.A
+		d.Stages = append(d.Stages, sd)
+	}
+	for _, ra := range a.Stages {
+		if !bSeen[ra.Label] {
+			d.Stages = append(d.Stages, StageDelta{Label: ra.Label, A: ra.Total, Delta: -ra.Total})
+		}
+	}
+
+	if a.Links != nil && b.Links != nil {
+		d.Links = linkDeltas(a.Links, b.Links)
+	}
+	d.Machines = machineDeltas(a.MachineCompute, b.MachineCompute)
+	return d
+}
+
+func linkDeltas(a, b *LinkReport) []LinkDelta {
+	type key struct{ src, dst int }
+	am := make(map[key]LinkStat, len(a.all))
+	for _, st := range a.all {
+		am[key{st.Src, st.Dst}] = st
+	}
+	seen := make(map[key]bool, len(b.all))
+	var out []LinkDelta
+	for _, st := range b.all {
+		k := key{st.Src, st.Dst}
+		seen[k] = true
+		ld := LinkDelta{Src: st.Src, Dst: st.Dst, Level: st.Level, B: st.BusySeconds}
+		ld.A = am[k].BusySeconds
+		ld.Delta = ld.B - ld.A
+		out = append(out, ld)
+	}
+	for _, st := range a.all {
+		if !seen[key{st.Src, st.Dst}] {
+			out = append(out, LinkDelta{Src: st.Src, Dst: st.Dst, Level: st.Level,
+				A: st.BusySeconds, Delta: -st.BusySeconds})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta > out[j].Delta
+		}
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	if len(out) > 5 {
+		out = out[:5]
+	}
+	return out
+}
+
+func machineDeltas(a, b []float64) []MachineDelta {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make([]MachineDelta, 0, n)
+	for m := 0; m < n; m++ {
+		md := MachineDelta{Machine: m}
+		if m < len(a) {
+			md.A = a[m]
+		}
+		if m < len(b) {
+			md.B = b[m]
+		}
+		md.Delta = md.B - md.A
+		out = append(out, md)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Delta != out[j].Delta {
+			return out[i].Delta > out[j].Delta
+		}
+		return out[i].Machine < out[j].Machine
+	})
+	if len(out) > 5 {
+		out = out[:5]
+	}
+	return out
+}

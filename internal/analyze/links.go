@@ -1,0 +1,177 @@
+package analyze
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// The link report aggregates every transfer in the stream (not just the
+// critical path) per directed machine pair, then buckets pairs by their
+// machine-graph bisection level: the depth of the recursive bisection
+// (§4.2) at which the two machines first separate. Level 0 crosses the
+// top-level cut — the scarcest bandwidth in the hierarchy — so a glance at
+// the level rows shows whether traffic follows the bandwidth hierarchy the
+// partitioner optimized for.
+
+// timelineBuckets is the fixed resolution of per-level utilization
+// timelines. Fixed (not adaptive) so reports of the same workload are
+// comparable and byte-identical across runs.
+const timelineBuckets = 16
+
+// LinkStat aggregates one directed machine pair.
+type LinkStat struct {
+	Src          int     `json:"src"`
+	Dst          int     `json:"dst"`
+	Level        int     `json:"level"`
+	Transfers    int     `json:"transfers"`
+	Bytes        int64   `json:"bytes"`
+	BusySeconds  float64 `json:"busy_seconds"`
+	StallSeconds float64 `json:"stall_seconds"`
+}
+
+// LevelStat aggregates all links at one bisection level.
+type LevelStat struct {
+	Level       int     `json:"level"`
+	Links       int     `json:"links"`
+	Transfers   int     `json:"transfers"`
+	Bytes       int64   `json:"bytes"`
+	BusySeconds float64 `json:"busy_seconds"`
+	// Timeline is transfer busy-seconds per fixed time bucket across the
+	// makespan: the utilization timeline of this level of the hierarchy.
+	Timeline []float64 `json:"timeline"`
+}
+
+// LinkReport is the per-link / per-level utilization view.
+type LinkReport struct {
+	Levels []LevelStat `json:"levels"`
+	// Hot lists the busiest links (by busy seconds, then bytes, then pair),
+	// at most five.
+	Hot []LinkStat `json:"hot"`
+	// all holds every link's stats (same sort as Hot, untruncated) for
+	// diffing; kept out of the JSON to keep reports small.
+	all []LinkStat
+}
+
+// bisectionLevels computes, for every machine pair, the recursion depth at
+// which the pair separates under repeated machine-graph bisection. The
+// bisection is a pure function of the topology, so levels are deterministic.
+func bisectionLevels(topo *cluster.Topology) [][]int {
+	n := topo.NumMachines()
+	lvl := make([][]int, n)
+	for i := range lvl {
+		lvl[i] = make([]int, n)
+	}
+	var rec func(mg *cluster.MachineGraph, depth int)
+	rec = func(mg *cluster.MachineGraph, depth int) {
+		if mg.Size() < 2 {
+			return
+		}
+		a, b := mg.Bisect()
+		for _, ma := range a.Machines() {
+			for _, mb := range b.Machines() {
+				lvl[ma][mb] = depth
+				lvl[mb][ma] = depth
+			}
+		}
+		rec(a, depth+1)
+		rec(b, depth+1)
+	}
+	rec(cluster.NewMachineGraph(topo), 0)
+	return lvl
+}
+
+func linkReport(events []trace.Event, topo *cluster.Topology, start, end float64) *LinkReport {
+	n := topo.NumMachines()
+	lvl := bisectionLevels(topo)
+	span := end - start
+	width := span / timelineBuckets
+
+	links := make(map[[2]int]*LinkStat)
+	levels := make(map[int]*LevelStat)
+	level := func(d int) *LevelStat {
+		ls := levels[d]
+		if ls == nil {
+			ls = &LevelStat{Level: d, Timeline: make([]float64, timelineBuckets)}
+			levels[d] = ls
+		}
+		return ls
+	}
+	for i := range events {
+		ev := &events[i]
+		if ev.Kind != trace.KindTransfer {
+			continue
+		}
+		if ev.Machine < 0 || ev.Dst < 0 || ev.Machine >= n || ev.Dst >= n {
+			continue
+		}
+		key := [2]int{ev.Machine, ev.Dst}
+		st := links[key]
+		if st == nil {
+			st = &LinkStat{Src: ev.Machine, Dst: ev.Dst, Level: lvl[ev.Machine][ev.Dst]}
+			links[key] = st
+		}
+		st.Transfers++
+		st.Bytes += ev.Bytes
+		st.BusySeconds += ev.End - ev.Start
+		st.StallSeconds += ev.Stall
+
+		ls := level(st.Level)
+		ls.Transfers++
+		ls.Bytes += ev.Bytes
+		ls.BusySeconds += ev.End - ev.Start
+		if width > 0 {
+			// Spread the busy interval over the buckets it overlaps.
+			for b := 0; b < timelineBuckets; b++ {
+				blo := start + float64(b)*width
+				bhi := blo + width
+				lo, hi := ev.Start, ev.End
+				if lo < blo {
+					lo = blo
+				}
+				if hi > bhi {
+					hi = bhi
+				}
+				if lo < hi {
+					ls.Timeline[b] += hi - lo
+				}
+			}
+		}
+	}
+
+	rep := &LinkReport{}
+	for _, ls := range levels {
+		for _, st := range links {
+			if st.Level == ls.Level {
+				ls.Links++
+			}
+		}
+		rep.Levels = append(rep.Levels, *ls)
+	}
+	sort.Slice(rep.Levels, func(i, j int) bool { return rep.Levels[i].Level < rep.Levels[j].Level })
+
+	all := make([]LinkStat, 0, len(links))
+	for _, st := range links {
+		all = append(all, *st)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.BusySeconds != b.BusySeconds {
+			return a.BusySeconds > b.BusySeconds
+		}
+		if a.Bytes != b.Bytes {
+			return a.Bytes > b.Bytes
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	rep.all = all
+	rep.Hot = all
+	if len(rep.Hot) > 5 {
+		rep.Hot = rep.Hot[:5]
+	}
+	return rep
+}

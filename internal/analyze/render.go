@@ -1,0 +1,150 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Rendering is byte-deterministic: fixed field order, fixed float precision
+// (%.6f), and sorts with total orders only — reports of the same stream are
+// identical files, which is what the Workers-1/4/8 determinism tests pin.
+
+// WriteText renders the critical-path report for the terminal.
+func WriteText(w io.Writer, r *Report) error {
+	fmt.Fprintf(w, "critical-path report\n")
+	fmt.Fprintf(w, "  makespan: %.6f s\n\n", r.Makespan)
+
+	fmt.Fprintf(w, "blame attribution (sums to makespan)\n")
+	for _, cat := range Categories {
+		v := r.Blame[cat]
+		pct := 0.0
+		if r.Makespan > 0 {
+			pct = v / r.Makespan * 100
+		}
+		fmt.Fprintf(w, "  %-18s %14.6f s  %5.1f%%\n", cat, v, pct)
+	}
+	total := 0.0
+	for _, cat := range Categories {
+		total += r.Blame[cat]
+	}
+	fmt.Fprintf(w, "  %-18s %14.6f s\n\n", "total", total)
+
+	fmt.Fprintf(w, "per-stage blame (chronological)\n")
+	for _, row := range r.Stages {
+		fmt.Fprintf(w, "  %-36s %12.6f s", row.Label, row.Total)
+		for _, cat := range Categories {
+			if v := row.Seconds[cat]; v > 0 {
+				fmt.Fprintf(w, "  %s=%.6f", cat, v)
+			}
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	fmt.Fprintf(w, "\n")
+
+	fmt.Fprintf(w, "critical path: %d steps; longest segments:\n", len(r.Path))
+	for _, st := range topSegments(r.Path, 12) {
+		loc := st.Job
+		if st.Stage != "" {
+			loc += "/" + st.Stage
+		}
+		name := st.Name
+		if name == "" {
+			name = "-"
+		}
+		fmt.Fprintf(w, "  %12.6f s  %-14s %-36s %-18s m%d\n",
+			st.Seconds, st.Kind, loc, name, st.Machine)
+	}
+
+	if r.Links != nil {
+		fmt.Fprintf(w, "\nlink utilization by bisection level (0 = top-level cut)\n")
+		for _, ls := range r.Links.Levels {
+			fmt.Fprintf(w, "  level %d: links=%d transfers=%d bytes=%d busy=%.6fs\n",
+				ls.Level, ls.Links, ls.Transfers, ls.Bytes, ls.BusySeconds)
+			fmt.Fprintf(w, "    timeline:")
+			for _, v := range ls.Timeline {
+				fmt.Fprintf(w, " %.6f", v)
+			}
+			fmt.Fprintf(w, "\n")
+		}
+		fmt.Fprintf(w, "  hot links:\n")
+		for _, st := range r.Links.Hot {
+			fmt.Fprintf(w, "    m%d->m%d level=%d busy=%.6fs stall=%.6fs bytes=%d transfers=%d\n",
+				st.Src, st.Dst, st.Level, st.BusySeconds, st.StallSeconds, st.Bytes, st.Transfers)
+		}
+	}
+	return nil
+}
+
+// topSegments returns the n path steps with the most attributed seconds
+// (ties by Seq, ascending).
+func topSegments(path []PathStep, n int) []PathStep {
+	out := append([]PathStep(nil), path...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteJSON renders the report as indented JSON (maps marshal with sorted
+// keys, so the bytes are deterministic).
+func WriteJSON(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// WriteDiffText renders the delta report for the terminal.
+func WriteDiffText(w io.Writer, d *DiffReport) error {
+	fmt.Fprintf(w, "trace diff (B - A; positive = B slower)\n")
+	fmt.Fprintf(w, "  makespan: A=%.6f s  B=%.6f s  delta=%+.6f s\n\n", d.MakespanA, d.MakespanB, d.Delta)
+
+	fmt.Fprintf(w, "blame deltas\n")
+	for _, cd := range d.Categories {
+		fmt.Fprintf(w, "  %-18s A=%12.6f  B=%12.6f  delta=%+.6f\n", cd.Category, cd.A, cd.B, cd.Delta)
+	}
+
+	fmt.Fprintf(w, "\nper-stage deltas\n")
+	for _, sd := range d.Stages {
+		fmt.Fprintf(w, "  %-36s A=%12.6f  B=%12.6f  delta=%+.6f", sd.Label, sd.A, sd.B, sd.Delta)
+		if sd.Worst != "" {
+			fmt.Fprintf(w, "  worst=%s", sd.Worst)
+		}
+		fmt.Fprintf(w, "\n")
+	}
+
+	if len(d.Links) > 0 {
+		fmt.Fprintf(w, "\nregressing links (busy seconds)\n")
+		for _, ld := range d.Links {
+			fmt.Fprintf(w, "  m%d->m%d level=%d A=%.6f B=%.6f delta=%+.6f\n",
+				ld.Src, ld.Dst, ld.Level, ld.A, ld.B, ld.Delta)
+		}
+	}
+	if len(d.Machines) > 0 {
+		fmt.Fprintf(w, "\nregressing machines (compute seconds)\n")
+		for _, md := range d.Machines {
+			fmt.Fprintf(w, "  m%d A=%.6f B=%.6f delta=%+.6f\n", md.Machine, md.A, md.B, md.Delta)
+		}
+	}
+	return nil
+}
+
+// WriteDiffJSON renders the delta report as indented JSON.
+func WriteDiffJSON(w io.Writer, d *DiffReport) error {
+	data, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

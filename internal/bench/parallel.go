@@ -1,11 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math"
-	"os"
 	"runtime"
 	"time"
 
@@ -157,13 +155,11 @@ func ParallelBench(cfg ParallelConfig) (*ParallelResult, error) {
 	}, nil
 }
 
-// WriteParallelJSON writes the result as indented JSON to path.
+// WriteParallelJSON writes the result to path in the versioned bench report
+// schema (ReportSchema), so BENCH_parallel.json records the perf trajectory
+// in the form surfer-analyze -compare gates.
 func WriteParallelJSON(path string, res *ParallelResult) error {
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return WriteReport(path, FromParallel(res))
 }
 
 // WriteParallel renders the comparison for the terminal.

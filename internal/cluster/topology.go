@@ -68,6 +68,34 @@ func (t *Topology) Bandwidth(a, b MachineID) float64 { return t.bw[a][b] }
 // DiskBandwidth reports the per-machine disk bandwidth in bytes/second.
 func (t *Topology) DiskBandwidth() float64 { return t.diskBW }
 
+// BandwidthMatrix returns a copy of the full pairwise bandwidth matrix in
+// bytes/second (diagonal = loopback). Trace exporters embed it so analysis
+// tools can rebuild the machine graph without the generating process.
+func (t *Topology) BandwidthMatrix() [][]float64 {
+	out := make([][]float64, t.n)
+	for i := range out {
+		out[i] = append([]float64(nil), t.bw[i]...)
+	}
+	return out
+}
+
+// NewTopologyFromMatrix rebuilds a topology from a raw bandwidth matrix (as
+// recorded in a trace header): the inverse of BandwidthMatrix, with every
+// machine in one pod and default disk bandwidth. It panics on a non-square
+// matrix, since trace readers validate shape before calling.
+func NewTopologyFromMatrix(name string, bw [][]float64) *Topology {
+	n := len(bw)
+	t := &Topology{name: name, n: n, pod: make([]int, n), diskBW: DiskBandwidth}
+	t.bw = make([][]float64, n)
+	for i := range bw {
+		if len(bw[i]) != n {
+			panic(fmt.Sprintf("cluster: bandwidth matrix row %d has %d entries, want %d", i, len(bw[i]), n))
+		}
+		t.bw[i] = append([]float64(nil), bw[i]...)
+	}
+	return t
+}
+
 // SamePod reports whether two machines share a bottom-level switch.
 func (t *Topology) SamePod(a, b MachineID) bool { return t.pod[a] == t.pod[b] }
 

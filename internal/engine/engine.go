@@ -77,6 +77,16 @@ type Runner struct {
 	// tr receives structured trace events; nil means tracing is disabled
 	// and every emission site reduces to a nil check.
 	tr *trace.Recorder
+	// Causal-DAG threading (docs/METRICS.md): lastJobEnd is the Seq of the
+	// previous job's end (the cause of the next job's begin), failSeq the
+	// Seq of each dead machine's failure event (the cause of everything that
+	// machine's death enabled), lastFailSeq the most recent failure, and
+	// recoveryPending marks that the next job is a rollback reaction whose
+	// begin should be caused by that failure instead of the previous job.
+	lastJobEnd      int
+	failSeq         map[cluster.MachineID]int
+	lastFailSeq     int
+	recoveryPending bool
 	// faults is the transient-fault schedule (nil = fault-free: every
 	// query is a nil check), retry and spec the defaulted policies.
 	faults *fault.Schedule
@@ -94,10 +104,13 @@ func New(cfg Config) *Runner {
 	}
 	r := &Runner{
 		cfg: cfg, pool: NewPool(cfg.Workers), tr: cfg.Trace,
-		dead:   make(map[cluster.MachineID]bool),
-		faults: cfg.Faults,
-		retry:  cfg.Retry.WithDefaults(),
-		spec:   cfg.Speculation.WithDefaults(),
+		dead:        make(map[cluster.MachineID]bool),
+		faults:      cfg.Faults,
+		retry:       cfg.Retry.WithDefaults(),
+		spec:        cfg.Speculation.WithDefaults(),
+		lastJobEnd:  trace.None,
+		failSeq:     make(map[cluster.MachineID]int),
+		lastFailSeq: trace.None,
 	}
 	r.failures = append(r.failures, cfg.Failures...)
 	sortFailures(r.failures)
@@ -151,23 +164,25 @@ func (r *Runner) Deaths() int { return len(r.dead) }
 // checkpoint job itself; this marks the commit point.
 func (r *Runner) NoteCheckpoint(job string, bytes int64) {
 	r.metrics.Checkpoints++
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindCheckpoint, Job: job,
-			Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Bytes: bytes, Time: r.clock})
-	}
+	r.tr.Emit(trace.Event{Kind: trace.KindCheckpoint, Job: job, Cause: r.lastJobEnd,
+		Machine: trace.None, Dst: trace.None, Part: trace.None,
+		Bytes: bytes, Time: r.clock})
 }
 
 // NoteRestore records a checkpoint rollback (a machine death invalidated
 // iterations since the last checkpoint).
 func (r *Runner) NoteRestore(job string, bytes int64) {
 	r.metrics.Restores++
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindRestore, Job: job,
-			Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Bytes: bytes, Time: r.clock})
-	}
+	r.tr.Emit(trace.Event{Kind: trace.KindRestore, Job: job, Cause: r.lastJobEnd,
+		Machine: trace.None, Dst: trace.None, Part: trace.None,
+		Bytes: bytes, Time: r.clock})
 }
+
+// MarkNextJobRecovery declares that the next Run is a rollback reaction to
+// the most recent machine failure (a restore job): its job-begin event is
+// caused by that failure instead of the previous job's end, so the causal
+// DAG shows the failure — not normal job chaining — driving the replay.
+func (r *Runner) MarkNextJobRecovery() { r.recoveryPending = true }
 
 // ValidateFailures rejects malformed failure plans at build time instead of
 // letting them panic or hang mid-run: negative times, unknown or duplicate
@@ -232,6 +247,12 @@ type pendingTransfer struct {
 	bytes    int64
 	part     partition.PartID
 	attempt  int
+	// dstName is the destination task's name and cause the Seq of the event
+	// that enabled the current attempt (the producing task's end, a recovery
+	// retry, or the transfer-retry after a drop's backoff) — both carried
+	// onto the emitted transfer event for the causal DAG.
+	dstName string
+	cause   int
 }
 
 type event struct {
@@ -251,6 +272,12 @@ type event struct {
 	// failure events
 	failMachine cluster.MachineID
 	lost        []*Task
+	// traceSeq is the Seq of the trace event whose consequence this heap
+	// event is (the transfer for evTransferDone, the failure for evRecovery,
+	// the drop for evTransferRetry); startSeq is the task-start Seq carried
+	// to the matching evTaskDone. Both None when tracing is off.
+	traceSeq int
+	startSeq int
 }
 
 type eventHeap []*event
@@ -307,6 +334,16 @@ type stageRun struct {
 	// speculation policy compares stragglers against.
 	doneDurs []float64
 	end      float64
+	// Causal threading: stageBeginSeq is this stage's begin event,
+	// dispatchCause the Seq that enabled the next task launch (set before
+	// every startNext call), popSeq the Seq describing the heap event just
+	// handled, endCause the Seq of the event that last advanced sr.end (the
+	// stage barrier's binding event), endSeq the emitted stage-end.
+	stageBeginSeq int
+	dispatchCause int
+	popSeq        int
+	endCause      int
+	endSeq        int
 	// err aborts the event loop (e.g. a transfer exhausted its retries).
 	err error
 }
@@ -327,22 +364,26 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 		total += len(st.Tasks)
 	}
 	r.resetProgress(total)
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindJobBegin, Job: job.Name,
-			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
+	// A job begins because the previous one ended — except a rollback
+	// replay, which begins because a machine died.
+	jobCause := r.lastJobEnd
+	if r.recoveryPending && r.lastFailSeq != trace.None {
+		jobCause = r.lastFailSeq
 	}
+	r.recoveryPending = false
+	cause := r.tr.Emit(trace.Event{Kind: trace.KindJobBegin, Job: job.Name, Cause: jobCause,
+		Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
 	var prev *stageRun
 	for si := range job.Stages {
-		sr, err := r.runStage(job, si, prev)
+		sr, err := r.runStage(job, si, prev, cause)
 		if err != nil {
 			return Metrics{}, err
 		}
+		cause = sr.endSeq
 		prev = sr
 	}
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindJobEnd, Job: job.Name,
-			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
-	}
+	r.lastJobEnd = r.tr.Emit(trace.Event{Kind: trace.KindJobEnd, Job: job.Name, Cause: cause,
+		Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
 	m := r.metrics
 	m.ResponseSeconds = r.clock - start
 	m.MachineSeconds -= before.MachineSeconds
@@ -358,7 +399,7 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 	return m, nil
 }
 
-func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
+func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRun, error) {
 	stage := job.Stages[si]
 	sr := &stageRun{
 		r: r, job: job, stageIdx: si,
@@ -397,11 +438,13 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 			sr.push(&event{at: at, kind: evFailure, failMachine: f.Machine})
 		}
 	}
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: job.Name, Stage: stage.Name,
-			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
-	}
-	// Start machines in ID order for determinism.
+	sr.stageBeginSeq = r.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: job.Name, Stage: stage.Name,
+		Cause: cause, Machine: trace.None, Dst: trace.None, Part: trace.None, Time: r.clock})
+	// An empty (or instantaneous) stage's barrier is bound by its own begin.
+	sr.endCause = sr.stageBeginSeq
+	// Start machines in ID order for determinism. These launches are
+	// enabled by the stage barrier opening.
+	sr.dispatchCause = sr.stageBeginSeq
 	for i := 0; i < r.cfg.Topo.NumMachines(); i++ {
 		sr.startNext(cluster.MachineID(i), r.clock)
 	}
@@ -411,14 +454,13 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 			return nil, fmt.Errorf("engine: stage %q deadlocked with %d tasks and %d transfers pending", stage.Name, sr.remaining, sr.inflight)
 		}
 		e := heap.Pop(&sr.events).(*event)
-		if e.at > sr.end {
-			sr.end = e.at
-		}
+		sr.popSeq = trace.None
 		switch e.kind {
 		case evTaskDone:
 			sr.onTaskDone(e, prev)
 		case evTransferDone:
 			sr.inflight--
+			sr.popSeq = e.traceSeq
 		case evFailure:
 			sr.onFailure(e)
 		case evRecovery:
@@ -429,26 +471,28 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun) (*stageRun, error) {
 		if sr.err != nil {
 			return nil, sr.err
 		}
+		// The last event to advance sr.end is the stage barrier's binding
+		// event: the stage-end's cause on the critical path.
+		if e.at > sr.end {
+			sr.end = e.at
+			sr.endCause = sr.popSeq
+		}
 	}
 	r.clock = sr.end
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: job.Name, Stage: stage.Name,
-			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: sr.end})
-	}
+	sr.endSeq = r.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: job.Name, Stage: stage.Name,
+		Cause: sr.endCause, Machine: trace.None, Dst: trace.None, Part: trace.None, Time: sr.end})
 	return sr, nil
 }
 
 // stageName names the stage this run executes, for trace events.
 func (sr *stageRun) stageName() string { return sr.job.Stages[sr.stageIdx].Name }
 
-// emitTask emits a task-lifecycle trace event; a no-op when tracing is off.
-func (sr *stageRun) emitTask(kind trace.EventKind, t *Task, m cluster.MachineID, at, start, end float64) {
-	if sr.r.tr == nil {
-		return
-	}
-	sr.r.tr.Emit(trace.Event{
+// emitTask emits a task-lifecycle trace event and returns its Seq (None when
+// tracing is off, via the nil-safe Emit).
+func (sr *stageRun) emitTask(kind trace.EventKind, t *Task, m cluster.MachineID, at, start, end float64, cause int) int {
+	return sr.r.tr.Emit(trace.Event{
 		Kind: kind, Job: sr.job.Name, Stage: sr.stageName(), Name: t.Name,
-		Machine: int(m), Dst: trace.None, Part: int(t.Part),
+		Cause: cause, Machine: int(m), Dst: trace.None, Part: int(t.Part),
 		Time: at, Start: start, End: end,
 	})
 }
@@ -482,8 +526,8 @@ func (sr *stageRun) startNext(m cluster.MachineID, now float64) {
 		// every task that starts during the slowdown window.
 		dur := sr.r.taskDuration(t) * sr.r.faults.SlowdownFactor(m, now)
 		sr.r.timeline.record(now, t.DiskRead)
-		sr.emitTask(trace.KindTaskStart, t, m, now, now, 0)
-		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m, start: now, dur: dur})
+		startSeq := sr.emitTask(trace.KindTaskStart, t, m, now, now, 0, sr.dispatchCause)
+		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m, start: now, dur: dur, startSeq: startSeq})
 	}
 }
 
@@ -495,18 +539,23 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 	r := sr.r
 	if r.dead[e.machine] {
 		// The machine died while this completion event was in flight;
-		// the failure handler already requeued the task.
+		// the failure handler already requeued the task. If this stale
+		// completion still advances the stage barrier, blame the failure.
+		sr.popSeq = r.failSeq[e.machine]
 		return
 	}
 	t := e.task
 	r.metrics.MachineSeconds += e.dur
 	r.metrics.DiskBytes += t.DiskRead + t.DiskWrite
 	r.metrics.TasksRun++
-	sr.emitTask(trace.KindTaskEnd, t, e.machine, e.at, e.start, e.at)
+	endSeq := sr.emitTask(trace.KindTaskEnd, t, e.machine, e.at, e.start, e.at, e.startSeq)
+	sr.popSeq = endSeq
 	r.noteTaskDone(e.machine, e.at, e.dur, r.progressTotal)
 	r.timeline.record(e.at, t.DiskWrite)
 	sr.running[e.machine]--
 	sr.copies[t]--
+	// This completion frees a slot: whatever launches next is its effect.
+	sr.dispatchCause = endSeq
 	if sr.committed[t] {
 		// A speculative duplicate losing the race: its work is charged
 		// above, but the first completion already committed the results.
@@ -528,7 +577,7 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 					dstM = fm
 				}
 			}
-			sr.sendBytes(e.machine, dstM, out.Bytes, e.at, dst.Part)
+			sr.sendBytes(e.machine, dstM, out.Bytes, e.at, dst.Part, dst.Name, endSeq)
 		}
 	}
 	sr.startNext(e.machine, e.at)
@@ -576,12 +625,13 @@ func (sr *stageRun) maybeSpeculate(now float64) {
 		}
 		sr.speculated[s.t] = true
 		r.metrics.Speculations++
-		if r.tr != nil {
-			r.tr.Emit(trace.Event{Kind: trace.KindSpeculate, Job: sr.job.Name,
-				Stage: sr.stageName(), Name: s.t.Name, Machine: int(backup),
-				Dst: trace.None, Part: int(s.t.Part), Time: now})
-		}
+		// The committed completion whose median triggered this check is the
+		// cause of the backup launch (sr.popSeq: the task-end just handled).
+		specSeq := r.tr.Emit(trace.Event{Kind: trace.KindSpeculate, Job: sr.job.Name,
+			Stage: sr.stageName(), Name: s.t.Name, Cause: sr.popSeq, Machine: int(backup),
+			Dst: trace.None, Part: int(s.t.Part), Time: now})
 		sr.queues[backup] = append(sr.queues[backup], s.t)
+		sr.dispatchCause = specSeq
 		sr.startNext(backup, now)
 	}
 }
@@ -614,9 +664,11 @@ func medianOf(xs []float64) float64 {
 
 // sendBytes schedules a transfer from src to dst, serializing with earlier
 // transfers on the sender's egress NIC and the receiver's ingress NIC.
-// Intra-machine moves are free. dstPart is the destination task's partition,
-// recorded on the trace event so traffic can be attributed per partition.
-func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float64, dstPart partition.PartID) {
+// Intra-machine moves are free. dstPart is the destination task's partition
+// and dstName its name, recorded on the trace event so traffic can be
+// attributed per partition and the transfer → receiving-task edge is
+// visible; cause is the Seq of the event that produced the bytes.
+func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float64, dstPart partition.PartID, dstName string, cause int) {
 	if bytes <= 0 {
 		return
 	}
@@ -624,7 +676,7 @@ func (sr *stageRun) sendBytes(src, dst cluster.MachineID, bytes int64, now float
 		return
 	}
 	sr.inflight++
-	sr.dispatch(&pendingTransfer{src: src, dst: dst, bytes: bytes, part: dstPart}, now)
+	sr.dispatch(&pendingTransfer{src: src, dst: dst, bytes: bytes, part: dstPart, dstName: dstName, cause: cause}, now)
 }
 
 // dispatch issues one attempt of a (possibly retried) transfer at time now.
@@ -649,19 +701,17 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 		sr.ingressFree[ts.dst] = detect
 		ts.attempt++
 		r.metrics.TransferDrops++
-		if r.tr != nil {
-			r.tr.Emit(trace.Event{
-				Kind: trace.KindTransferDrop, Job: sr.job.Name, Stage: sr.stageName(),
-				Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
-				Time: now, Start: start, End: detect, Attempt: ts.attempt,
-			})
-		}
+		dropSeq := r.tr.Emit(trace.Event{
+			Kind: trace.KindTransferDrop, Job: sr.job.Name, Stage: sr.stageName(), Name: ts.dstName,
+			Cause: ts.cause, Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
+			Time: now, Start: start, End: detect, Attempt: ts.attempt,
+		})
 		if r.retry.MaxAttempts > 0 && ts.attempt >= r.retry.MaxAttempts {
 			sr.err = fmt.Errorf("engine: transfer %d→%d (%d bytes) dropped %d times; retry budget exhausted",
 				ts.src, ts.dst, ts.bytes, ts.attempt)
 			return
 		}
-		sr.push(&event{at: detect + r.retry.BackoffAt(ts.attempt), kind: evTransferRetry, transfer: ts})
+		sr.push(&event{at: detect + r.retry.BackoffAt(ts.attempt), kind: evTransferRetry, transfer: ts, traceSeq: dropSeq})
 		return
 	}
 	factor := r.faults.LinkFactor(ts.src, ts.dst, start)
@@ -671,18 +721,16 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 	// Only delivered bytes count as network I/O; dropped attempts moved
 	// nothing.
 	r.metrics.NetworkBytes += ts.bytes
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{
-			Kind: trace.KindTransfer, Job: sr.job.Name, Stage: sr.stageName(),
-			Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
-			Time: now, Start: start, End: start + dur, Stall: start - now,
-			// The receiver's ingress NIC is the binding constraint when it
-			// frees no earlier than the sender's egress — the incast case.
-			Incast:  inFree > now && inFree >= egFree,
-			Attempt: ts.attempt, Degraded: factor > 1,
-		})
-	}
-	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: ts.bytes})
+	seq := r.tr.Emit(trace.Event{
+		Kind: trace.KindTransfer, Job: sr.job.Name, Stage: sr.stageName(), Name: ts.dstName,
+		Cause: ts.cause, Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
+		Time: now, Start: start, End: start + dur, Stall: start - now,
+		// The receiver's ingress NIC is the binding constraint when it
+		// frees no earlier than the sender's egress — the incast case.
+		Incast:  inFree > now && inFree >= egFree,
+		Attempt: ts.attempt, Degraded: factor > 1,
+	})
+	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: ts.bytes, traceSeq: seq})
 }
 
 // onTransferRetry re-issues a dropped transfer once its backoff elapses.
@@ -690,13 +738,14 @@ func (sr *stageRun) onTransferRetry(e *event) {
 	r := sr.r
 	ts := e.transfer
 	r.metrics.TransferRetries++
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{
-			Kind: trace.KindTransferRetry, Job: sr.job.Name, Stage: sr.stageName(),
-			Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part),
-			Time: e.at, Attempt: ts.attempt,
-		})
-	}
+	retrySeq := r.tr.Emit(trace.Event{
+		Kind: trace.KindTransferRetry, Job: sr.job.Name, Stage: sr.stageName(), Name: ts.dstName,
+		Cause: e.traceSeq, Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part),
+		Time: e.at, Attempt: ts.attempt,
+	})
+	sr.popSeq = retrySeq
+	// The re-issued attempt is caused by the retry, not the original send.
+	ts.cause = retrySeq
 	sr.dispatch(ts, e.at)
 }
 
@@ -706,13 +755,18 @@ func (sr *stageRun) onFailure(e *event) {
 	r := sr.r
 	m := e.failMachine
 	if r.dead[m] {
+		sr.popSeq = r.failSeq[m]
 		return
 	}
 	r.dead[m] = true
-	if r.tr != nil {
-		r.tr.Emit(trace.Event{Kind: trace.KindFailure, Job: sr.job.Name, Stage: sr.stageName(),
-			Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
-	}
+	// A failure is exogenous; anchoring it to the enclosing stage keeps the
+	// DAG rooted, and the analyzer blames the gap to the stage's start on
+	// the fault model (retry backoff), not on work.
+	failSeq := r.tr.Emit(trace.Event{Kind: trace.KindFailure, Job: sr.job.Name, Stage: sr.stageName(),
+		Cause: sr.stageBeginSeq, Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
+	r.failSeq[m] = failSeq
+	r.lastFailSeq = failSeq
+	sr.popSeq = failSeq
 	var lost []*Task
 	// Queued tasks are lost — unless another copy is committed or still
 	// running elsewhere (a queued speculative backup loses nothing).
@@ -738,12 +792,13 @@ func (sr *stageRun) onFailure(e *event) {
 		sr.running[m] = 0
 	}
 	for _, t := range lost {
-		sr.emitTask(trace.KindTaskLost, t, m, e.at, 0, 0)
+		sr.emitTask(trace.KindTaskLost, t, m, e.at, 0, 0, failSeq)
 	}
 	sr.push(&event{
-		at:   e.at + r.cfg.HeartbeatInterval,
-		kind: evRecovery,
-		lost: lost,
+		at:       e.at + r.cfg.HeartbeatInterval,
+		kind:     evRecovery,
+		lost:     lost,
+		traceSeq: failSeq,
 	})
 	// Keep the recovery event from racing stage completion.
 	sr.inflight++
@@ -754,6 +809,7 @@ func (sr *stageRun) onFailure(e *event) {
 func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 	r := sr.r
 	sr.inflight--
+	sr.popSeq = e.traceSeq
 	for _, t := range e.lost {
 		if sr.committed[t] {
 			// A copy elsewhere committed between the failure and the
@@ -767,6 +823,9 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 			continue
 		}
 		r.metrics.Recoveries++
+		// The retry is caused by the failure (via the heartbeat); emit it
+		// before the input re-transfers so they can cite it as their cause.
+		retrySeq := sr.emitTask(trace.KindRetry, t, m, e.at, 0, 0, e.traceSeq)
 		if t.Kind == KindCombine && prev != nil {
 			// Re-transfer this task's inputs from their producers.
 			myIdx := sr.taskIndex(t)
@@ -787,13 +846,13 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 								continue
 							}
 						}
-						sr.sendBytes(src, m, out.Bytes, e.at, t.Part)
+						sr.sendBytes(src, m, out.Bytes, e.at, t.Part, t.Name, retrySeq)
 					}
 				}
 			}
 		}
-		sr.emitTask(trace.KindRetry, t, m, e.at, 0, 0)
 		sr.queues[m] = append(sr.queues[m], t)
+		sr.dispatchCause = retrySeq
 		sr.startNext(m, e.at)
 	}
 }

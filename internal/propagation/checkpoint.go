@@ -87,6 +87,9 @@ func RunCheckpointed[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *
 				return nil, total, fmt.Errorf("propagation: %d rollbacks on a %d-machine cluster; failure plan cannot converge", rollbacks, r.NumMachines())
 			}
 			if ckptIter > 0 {
+				// The restore job is the failure's consequence, not normal
+				// job chaining: mark it so its trace event says so.
+				r.MarkNextJobRecovery()
 				rm, err := runRestoreJob(r, pg, pl, prog, ckptState, cfg.Replicas, ckptIter)
 				if err != nil {
 					return nil, total, err

@@ -137,11 +137,16 @@ func New(cfg Config) *Scheduler {
 // Runner exposes the shared runner (for workload helpers that need it).
 func (s *Scheduler) Runner() *engine.Runner { return s.runner }
 
-// Submit queues a job at the current virtual time.
+// Submit queues a job at the current virtual time. The submission itself is
+// traced (KindJobQueued), so the gap to the job's begin event — scheduler
+// queueing delay — is visible in analysis.
 func (s *Scheduler) Submit(req Request) {
 	if req.Run == nil {
 		panic("scheduler: job without a body")
 	}
+	s.cfg.Trace.Emit(trace.Event{Kind: trace.KindJobQueued, Job: req.Name,
+		Cause: trace.None, Machine: trace.None, Dst: trace.None, Part: trace.None,
+		Time: s.runner.Clock()})
 	s.pending = append(s.pending, pendingJob{
 		req:         req,
 		submittedAt: s.runner.Clock(),

@@ -13,6 +13,12 @@ type Breakdown struct {
 	// their I/O cost appears as ordinary checkpoint/restore jobs).
 	Checkpoints int
 	Restores    int
+	// CheckpointJobs / RestoreJobs record which job each commit / restore
+	// belongs to ("ckpt-002", "restore-002", …), in stream order, so a
+	// rollback replay is attributable to its iteration instead of being an
+	// anonymous global count.
+	CheckpointJobs []string
+	RestoreJobs    []string
 }
 
 // JobBreakdown aggregates one engine job.
@@ -193,8 +199,10 @@ func Summarize(events []Event) *Breakdown {
 			ensure().machine(ev.Machine).Speculations++
 		case KindCheckpoint:
 			b.Checkpoints++
+			b.CheckpointJobs = append(b.CheckpointJobs, ev.Job)
 		case KindRestore:
 			b.Restores++
+			b.RestoreJobs = append(b.RestoreJobs, ev.Job)
 		}
 	}
 	for _, jb := range b.Jobs {

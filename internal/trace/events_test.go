@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEventsRoundTrip: WriteEvents → ReadEvents preserves the stream and
+// the topology header exactly.
+func TestEventsRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 0, Cause: None, Kind: KindJobBegin, Job: "j", Machine: None, Dst: None, Part: None},
+		{Seq: 1, Cause: 0, Kind: KindStageBegin, Job: "j", Stage: "s", Machine: None, Dst: None, Part: None},
+		{Seq: 2, Cause: 1, Kind: KindTransfer, Job: "j", Stage: "s", Name: "t-p1",
+			Machine: 0, Dst: 1, Part: 1, Time: 0.5, Start: 0.25, End: 0.5, Bytes: 128, Stall: 0.1, Incast: true},
+	}
+	topo := &TopoInfo{Name: "T1", Machines: 2, Bandwidth: [][]float64{{1e9, 1e8}, {1e8, 1e9}}}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, topo, events); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.Events, events) {
+		t.Fatalf("events changed in round trip:\n%+v\n%+v", s.Events, events)
+	}
+	if !reflect.DeepEqual(s.Topo, topo) {
+		t.Fatalf("topology changed in round trip: %+v", s.Topo)
+	}
+}
+
+// TestReadEventsRejects: the reader refuses Chrome exports, future
+// versions, and reordered/acausal streams.
+func TestReadEventsRejects(t *testing.T) {
+	cases := map[string]string{
+		"chrome export":  `{"displayTimeUnit":"ms","traceEvents":[]}`,
+		"future version": `{"format":"surfer-trace-events","version":99,"events":[]}`,
+		"reordered seq":  `{"format":"surfer-trace-events","version":1,"events":[{"seq":1,"cause":-1}]}`,
+		"acausal cause":  `{"format":"surfer-trace-events","version":1,"events":[{"seq":0,"cause":0}]}`,
+		"ragged matrix":  `{"format":"surfer-trace-events","version":1,"topology":{"name":"x","machines":2,"bandwidth":[[1]]},"events":[]}`,
+	}
+	for name, data := range cases {
+		if _, err := ReadEvents(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -60,6 +60,9 @@ const (
 	// KindRestore marks a checkpoint restore after a machine death: the
 	// run rolled back to the last checkpointed iteration.
 	KindRestore
+	// KindJobQueued marks a job arriving at the scheduler queue at Time;
+	// the gap to its KindJobBegin is scheduler queueing delay.
+	KindJobQueued
 )
 
 func (k EventKind) String() string {
@@ -94,6 +97,8 @@ func (k EventKind) String() string {
 		return "checkpoint"
 	case KindRestore:
 		return "restore"
+	case KindJobQueued:
+		return "job-queued"
 	default:
 		return "unknown"
 	}
@@ -103,46 +108,57 @@ func (k EventKind) String() string {
 const None = -1
 
 // Event is one structured observation from the simulation. Unused fields
-// hold zero values (and None for Machine/Dst/Part when not applicable); see
-// docs/METRICS.md for the field-by-field reference.
+// hold zero values (and None for Machine/Dst/Part/Cause when not
+// applicable); see docs/METRICS.md for the field-by-field reference.
 type Event struct {
-	Kind EventKind
+	Kind EventKind `json:"kind"`
+	// Seq is the event's position in the recorder's stream, assigned by
+	// Emit. Because emission happens in the engine's serial event loop it
+	// is identical for every worker count, so Seq is a stable event ID.
+	Seq int `json:"seq"`
+	// Cause is the Seq of the event that causally enabled this one — the
+	// parent edge of the causal DAG surfer-analyze walks: a task's end
+	// causes the transfers it emitted, a failure causes the retries of its
+	// lost tasks, a stage's binding event causes the stage barrier, the
+	// previous job's end causes the next job's begin. None for root events.
+	Cause int `json:"cause"`
 	// Job and Stage name the enclosing engine job and stage.
-	Job   string
-	Stage string
-	// Name labels the subject: the task name for task events, empty
-	// otherwise.
-	Name string
+	Job   string `json:"job,omitempty"`
+	Stage string `json:"stage,omitempty"`
+	// Name labels the subject: the task name for task events and — so the
+	// causal edge transfer → receiving task is visible — the destination
+	// task's name for transfer events; empty otherwise.
+	Name string `json:"name,omitempty"`
 	// Machine is the executing machine (task events), the failed machine
 	// (failure events) or the transfer source. None when not applicable.
-	Machine int
+	Machine int `json:"machine"`
 	// Dst is the transfer destination machine; None otherwise.
-	Dst int
+	Dst int `json:"dst"`
 	// Part is the partition the subject belongs to: the task's partition,
 	// or — for transfers — the partition of the *destination* task, so
 	// cross-partition traffic can be attributed. None for unpinned tasks.
-	Part int
+	Part int `json:"part"`
 	// Bytes is the transfer volume; 0 otherwise.
-	Bytes int64
+	Bytes int64 `json:"bytes,omitempty"`
 	// Time is the virtual time the event logically occurred: issue time
 	// for transfers, the clock for begin/end markers, the failure time.
-	Time float64
+	Time float64 `json:"time"`
 	// Start and End bracket the busy interval of tasks and transfers.
-	Start float64
-	End   float64
+	Start float64 `json:"start,omitempty"`
+	End   float64 `json:"end,omitempty"`
 	// Stall is a transfer's NIC queueing delay (Start - Time): how long
 	// the bytes waited for the sender's egress and receiver's ingress
 	// serialization.
-	Stall float64
+	Stall float64 `json:"stall,omitempty"`
 	// Incast reports that the receiver's ingress NIC was the binding
 	// constraint for Stall — the all-to-all incast signature.
-	Incast bool
+	Incast bool `json:"incast,omitempty"`
 	// Attempt is the transfer attempt number for drop/retry events and
 	// for transfers that finally succeeded after retries (0 = first try).
-	Attempt int
+	Attempt int `json:"attempt,omitempty"`
 	// Degraded reports a transfer ran over a link slowed by a transient
 	// fault (its duration reflects the degraded bandwidth).
-	Degraded bool
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // Recorder collects the event stream of one or more runs. The zero value is
@@ -158,13 +174,17 @@ func NewRecorder() *Recorder { return &Recorder{} }
 // Enabled reports whether events are being collected.
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Emit appends one event to the stream. On a nil (disabled) recorder it is
-// a nil-check and returns immediately, allocating nothing.
-func (r *Recorder) Emit(ev Event) {
+// Emit appends one event to the stream, assigning its Seq, and returns the
+// assigned Seq so emitters can thread it as the Cause of later events. On a
+// nil (disabled) recorder it is a nil-check returning None immediately,
+// allocating nothing.
+func (r *Recorder) Emit(ev Event) int {
 	if r == nil {
-		return
+		return None
 	}
+	ev.Seq = len(r.events)
 	r.events = append(r.events, ev)
+	return ev.Seq
 }
 
 // Len reports the number of recorded events.
