@@ -11,7 +11,13 @@
 set -eux
 
 test -z "$(gofmt -l .)"
-go vet ./...
+# Vet fail-fast: vet the package groups separately (commands, library,
+# root) so the first failing group stops the gate right there with its
+# own diagnostics, instead of interleaving every group's findings in one
+# combined run.
+for pkgs in ./internal/... ./cmd/... .; do
+    go vet "$pkgs"
+done
 # Determinism-contract static gate (docs/LINTS.md): wall-clock/entropy
 # calls, map-iteration order leaking into ordered output, concurrency
 # outside the engine pool, undocumented trace kinds. Exits nonzero on any
@@ -25,6 +31,11 @@ go build ./...
 # the race detector, before the full suite. TestNilScheduleHotPathAllocatesNothing
 # pins that the fault-free hot path stays allocation-free.
 go test -race -short -run 'Fault|Chaos' . ./internal/...
+# Scheduler gate, mirroring the fault gate: the multi-tenant job service's
+# policy goldens, scheduling invariants, cross-worker determinism battery
+# and committed fuzz corpus under the race detector (the planning pool
+# runs concurrently at workers 4 and 8).
+go test -race -run 'Policy|Golden|Starvation|Inversion|Admission|Determinism|Fuzz' ./internal/jobsvc
 go test -race ./...
 
 smoke=$(mktemp -d)
@@ -50,3 +61,16 @@ if go run ./cmd/surfer-analyze -compare "$smoke/bench.json" "$smoke/bench-bad.js
     echo "compare gate failed to catch a regression" >&2
     exit 1
 fi
+# Multi-tenant scheduler smoke + regression gate: generate a workload,
+# replay it through the job service, attribute the stream (the scheduler's
+# queued-preempted category must appear in the blame table), then
+# regenerate the multitenant bench at the committed baseline's scale and
+# gate its virtual-time metrics against BENCH_multitenant.json.
+go run ./cmd/surfer-submit -gen 6 -tenants 3 -seed 7 -out "$smoke/jobs.json"
+go run ./cmd/surfer-submit -jobs "$smoke/jobs.json" -policy fair \
+    -events "$smoke/jobs.events" > "$smoke/submit.txt"
+grep -q "Jain fairness" "$smoke/submit.txt"
+go run ./cmd/surfer-analyze -trace "$smoke/jobs.events" | grep -q "queued-preempted"
+go run ./cmd/surfer-bench -experiment multitenant -vertices 4096 -levels 4 \
+    -machines 8 -json "$smoke/mt.json" > /dev/null
+go run ./cmd/surfer-analyze -compare BENCH_multitenant.json "$smoke/mt.json" -threshold 5%

@@ -26,7 +26,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surfer-bench: ")
 	var (
-		experiment  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|parallel|all")
+		experiment  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|parallel|multitenant|all")
 		vertices    = flag.Int("vertices", 1<<16, "synthetic graph vertices")
 		machines    = flag.Int("machines", 32, "machines in the simulated cluster")
 		levels      = flag.Int("levels", 6, "log2 of partition count")
@@ -205,6 +205,31 @@ func main() {
 			fmt.Printf("wrote %s\n", *parallelOut)
 			if jsonReport != nil {
 				jsonReport.Merge(bench.FromParallel(res))
+			}
+			return nil
+		})
+	}
+	// The multi-tenant experiment is deterministic virtual time but runs the
+	// whole workload three times (once per policy), so like parallel it runs
+	// only when asked for.
+	if want == "multitenant" {
+		run("multitenant", func() error {
+			mt := bench.DefaultMultitenantConfig()
+			mt.Scale.Vertices = *vertices
+			mt.Scale.Levels = *levels
+			mt.Scale.Machines = *machines
+			mt.Scale.Seed = *seed
+			mt.Scale.Workers = *workers
+			mt.Scale.Trace = rec
+			mt.Scale.Faults = s.Faults
+			mt.Scale.Retry = s.Retry
+			rows, err := bench.Multitenant(mt)
+			if err != nil {
+				return err
+			}
+			bench.WriteMultitenant(os.Stdout, rows)
+			if jsonReport != nil {
+				jsonReport.Merge(bench.FromMultitenant(rows))
 			}
 			return nil
 		})

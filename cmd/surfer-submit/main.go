@@ -1,0 +1,159 @@
+// surfer-submit drives the multi-tenant job service: it generates seeded
+// arrival workloads ("surfer-jobs" files) and replays them through the
+// shared-cluster scheduler under a chosen policy, printing per-job latency,
+// wait, and fairness.
+//
+// Usage:
+//
+//	surfer-submit -gen 20 -tenants 4 -seed 7 -out jobs.json
+//	surfer-submit -jobs jobs.json -policy fair -concurrency 2
+//	surfer-submit -jobs jobs.json -policy priority -queue-limit 4 -events ev.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/jobsvc"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-submit: ")
+	var (
+		gen         = flag.Int("gen", 0, "generate a workload of this many jobs and write it to -out")
+		tenants     = flag.Int("tenants", 3, "tenant count for -gen")
+		maxPriority = flag.Int("max-priority", 2, "highest priority for -gen")
+		out         = flag.String("out", "jobs.json", "output path for -gen")
+		jobsPath    = flag.String("jobs", "", "workload file to plan and run")
+		policyName  = flag.String("policy", "fifo", "scheduling policy: fifo, fair, priority")
+		concurrency = flag.Int("concurrency", 2, "concurrent job slots")
+		queueLimit  = flag.Int("queue-limit", 0, "admission queue bound (0 = unlimited)")
+		vertices    = flag.Int("vertices", 1<<12, "synthetic graph vertices of the shared deployment")
+		machines    = flag.Int("machines", 8, "machines in the shared T3 cluster")
+		levels      = flag.Int("levels", 4, "log2 of partition count")
+		seed        = flag.Int64("seed", 42, "random seed (generation, partitioning, topology)")
+		workers     = flag.Int("workers", 0, "planning worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		faultsPath  = flag.String("faults", "", "JSON fault-schedule file injected into the run")
+		eventsOut   = flag.String("events", "", "write the raw event stream (with topology header) to this file for surfer-analyze")
+	)
+	flag.Parse()
+
+	if *gen > 0 {
+		wl := jobsvc.GenerateWorkload(jobsvc.GenConfig{
+			Jobs:        *gen,
+			Tenants:     *tenants,
+			MaxPriority: *maxPriority,
+			Seed:        *seed,
+		})
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := jobsvc.WriteWorkload(f, wl); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d jobs, %d tenants)\n", *out, len(wl.Jobs), *tenants)
+		return
+	}
+	if *jobsPath == "" {
+		log.Fatal("nothing to do: pass -gen N to generate a workload or -jobs FILE to run one")
+	}
+
+	pol, err := jobsvc.ParsePolicy(*policyName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Open(*jobsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := jobsvc.ReadWorkload(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	topo := cluster.NewT3(*machines, *seed)
+	g := graph.Social(graph.DefaultSocial(*vertices, *seed))
+	planner, err := jobsvc.NewPlanner(jobsvc.PlannerConfig{
+		Graph: g, Topo: topo, Levels: *levels, Seed: *seed, Workers: *workers,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := planner.Jobs(wl)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := jobsvc.Config{
+		Topo:        topo,
+		Policy:      pol,
+		Concurrency: *concurrency,
+		QueueLimit:  *queueLimit,
+	}
+	if *faultsPath != "" {
+		ff, err := fault.Load(*faultsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Faults = ff.Schedule()
+		if len(ff.KillList()) != 0 {
+			log.Fatal("the job service handles transient faults only; remove kills from the schedule")
+		}
+	}
+	var rec *trace.Recorder
+	if *eventsOut != "" {
+		rec = trace.NewRecorder()
+		cfg.Trace = rec
+	}
+
+	recs, err := jobsvc.Run(cfg, jobs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("cluster: %s; policy: %s; concurrency: %d; %d jobs from %s\n",
+		topo, pol, cfg.Concurrency, len(jobs), *jobsPath)
+	fmt.Printf("%-10s %-10s %4s %10s %12s %12s %8s\n",
+		"job", "tenant", "prio", "status", "wait(s)", "latency(s)", "preempt")
+	for _, r := range recs {
+		status := "done"
+		if r.Rejected {
+			status = "rejected"
+		}
+		fmt.Printf("%-10s %-10s %4d %10s %12.4f %12.4f %8d\n",
+			r.ID, r.Tenant, r.Priority, status, r.WaitSeconds(), r.Latency(), r.Preemptions)
+	}
+	names, service := jobsvc.TenantService(recs)
+	fmt.Printf("p50 latency: %.4f s, p99 latency: %.4f s, mean wait: %.4f s\n",
+		jobsvc.LatencyPercentile(recs, 0.50), jobsvc.LatencyPercentile(recs, 0.99), jobsvc.MeanWait(recs))
+	fmt.Printf("Jain fairness over %d tenants: %.3f\n", len(names), jobsvc.JainIndex(service))
+
+	if *eventsOut != "" {
+		ef, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ti := &trace.TopoInfo{Name: topo.Name(), Machines: topo.NumMachines(), Bandwidth: topo.BandwidthMatrix()}
+		if err := trace.WriteEvents(ef, ti, rec.Events()); err != nil {
+			ef.Close()
+			log.Fatal(err)
+		}
+		if err := ef.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("events: %s (%d events)\n", *eventsOut, rec.Len())
+	}
+}

@@ -34,10 +34,14 @@ const (
 	CatBarrier = "barrier-skew"
 	// CatCheckpoint is path time spent inside ckpt-*/restore-* jobs.
 	CatCheckpoint = "checkpoint-io"
+	// CatQueued is multi-tenant scheduling delay on the path: time a job
+	// spent waiting in the submission queue before admission, or suspended
+	// between a preemption and its resume.
+	CatQueued = "queued-preempted"
 )
 
 // Categories lists every blame category in report order.
-var Categories = []string{CatCompute, CatNIC, CatIncast, CatRetry, CatBarrier, CatCheckpoint}
+var Categories = []string{CatCompute, CatNIC, CatIncast, CatRetry, CatBarrier, CatCheckpoint, CatQueued}
 
 // PathStep is one event on the critical path, with the seconds the walk
 // attributed while consuming it (its own span pieces plus the gap to its
@@ -274,7 +278,19 @@ func gapCategory(parent, child *trace.Event, ckpt map[string]bool) string {
 		switch child.Kind {
 		case trace.KindFailure, trace.KindRetry, trace.KindTransferRetry:
 			return CatRetry
+		case trace.KindJobQueued, trace.KindJobAdmitted, trace.KindJobPreempted,
+			trace.KindJobResumed, trace.KindJobRejected:
+			// The wait ended with a scheduler decision: the job was queued
+			// (submit → admit) or suspended (preempt → resume) meanwhile.
+			return CatQueued
 		}
+	}
+	switch parent.Kind {
+	case trace.KindJobQueued, trace.KindJobAdmitted, trace.KindJobPreempted,
+		trace.KindJobResumed:
+		// The wait started at a scheduler event: the job sat in the queue
+		// (or preempted) until its effect fired.
+		return CatQueued
 	}
 	if ckpt[parent.Job] {
 		return CatCheckpoint
@@ -309,34 +325,35 @@ func stageLabels(events []trace.Event) []string {
 	}
 	labels := make([]string, len(events))
 	seen := make(map[string]int)
-	curJob := ""
-	curStage := ""
+	// alias maps a job name to its current occurrence label. Labeling is
+	// driven by each event's own Job/Stage fields — never by "the job that
+	// last began" — because a multi-tenant stream interleaves events of
+	// concurrent jobs arbitrarily.
+	alias := make(map[string]string)
 	for i := range events {
 		ev := &events[i]
-		switch ev.Kind {
-		case trace.KindJobBegin:
+		if ev.Kind == trace.KindJobBegin {
 			seen[ev.Job]++
-			curJob = ev.Job
 			if begins[ev.Job] > 1 {
-				curJob = fmt.Sprintf("%s#%d", ev.Job, seen[ev.Job])
+				alias[ev.Job] = fmt.Sprintf("%s#%d", ev.Job, seen[ev.Job])
+			} else {
+				alias[ev.Job] = ev.Job
 			}
-			curStage = ""
-		case trace.KindStageBegin:
-			curStage = ev.Stage
 		}
-		if curJob == "" {
+		if ev.Job == "" {
 			labels[i] = ""
-		} else if curStage == "" {
-			labels[i] = curJob
-		} else {
-			labels[i] = curJob + "/" + curStage
+			continue
 		}
-		switch ev.Kind {
-		case trace.KindStageEnd:
-			curStage = ""
-		case trace.KindJobEnd:
-			// Keep curJob: post-job marks (checkpoint commits) belong to it.
-			curStage = ""
+		job, ok := alias[ev.Job]
+		if !ok {
+			// Scheduler events (queued/admitted/rejected) may precede the
+			// job's first begin, or the job may never begin at all.
+			job = ev.Job
+		}
+		if ev.Stage == "" {
+			labels[i] = job
+		} else {
+			labels[i] = job + "/" + ev.Stage
 		}
 	}
 	return labels

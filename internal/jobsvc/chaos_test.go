@@ -1,0 +1,102 @@
+package jobsvc
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/analyze"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// TestChaosSoak is the scheduler soak: seeded rounds of tenant churn
+// (generated workloads with varying tenant counts) under generated
+// transient-fault schedules, across every policy. Each round must complete
+// all admitted jobs, replay byte-identically, and satisfy the blame-sum
+// invariant. The round count shrinks under -short so the race-gated CI run
+// stays fast.
+func TestChaosSoak(t *testing.T) {
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	for round := 0; round < rounds; round++ {
+		seed := int64(100 + 17*round)
+		for _, pol := range Policies {
+			t.Run(fmt.Sprintf("round%d/%s", round, pol), func(t *testing.T) {
+				sched, kills := fault.Generate(fault.GenConfig{
+					Machines:  8,
+					Horizon:   0.02,
+					Degrades:  1 + round%3,
+					Drops:     1 + round%2,
+					Slowdowns: round % 2,
+					Seed:      seed,
+				})
+				if len(kills) != 0 {
+					t.Fatal("unexpected kill faults")
+				}
+				cfg := Config{
+					Topo:        testTopo(),
+					Policy:      pol,
+					Concurrency: 1 + round%3,
+					QueueLimit:  (round % 3) * 4, // 0 = unlimited on round 0, 3…
+					Faults:      sched,
+				}
+				nJobs := 6 + round
+				tenants := 1 + round%5 // churn: tenant population varies round to round
+				run := func() ([]Record, []byte, []trace.Event) {
+					rec := trace.NewRecorder()
+					c := cfg
+					c.Trace = rec
+					recs, err := Run(c, synthJobs(nJobs, tenants, seed))
+					if err != nil {
+						t.Fatalf("soak run failed: %v", err)
+					}
+					var buf bytes.Buffer
+					if err := trace.WriteEvents(&buf, nil, rec.Events()); err != nil {
+						t.Fatal(err)
+					}
+					return recs, buf.Bytes(), rec.Events()
+				}
+				recs, stream, events := run()
+				recs2, stream2, _ := run()
+				if !bytes.Equal(stream, stream2) {
+					t.Fatal("soak round is not deterministic: trace streams differ")
+				}
+				finished, rejected := 0, 0
+				for i, r := range recs {
+					if r != recs2[i] {
+						t.Fatalf("record %d differs between replays", i)
+					}
+					switch {
+					case r.Rejected:
+						rejected++
+					case r.Finished > 0:
+						finished++
+					default:
+						t.Fatalf("job %s neither finished nor rejected: %+v", r.ID, r)
+					}
+				}
+				if finished+rejected != nJobs {
+					t.Fatalf("accounting: %d finished + %d rejected != %d submitted", finished, rejected, nJobs)
+				}
+				if finished == 0 {
+					return
+				}
+				rep, err := analyze.Analyze(events, testTopo())
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum float64
+				for _, c := range analyze.Categories {
+					sum += rep.Blame[c]
+				}
+				if diff := math.Abs(sum - rep.Makespan); diff > 1e-9*math.Max(1, rep.Makespan) {
+					t.Fatalf("blame sums to %g, makespan %g", sum, rep.Makespan)
+				}
+			})
+		}
+	}
+}

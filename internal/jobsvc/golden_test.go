@@ -1,0 +1,164 @@
+package jobsvc
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// goldenWorkload is the fixed workload of the policy golden tests: six
+// single-plan jobs from three tenants with mixed priorities, arriving while
+// the first job's opening stage runs, over a concurrency-1 service — every
+// policy decision is forced into the open.
+func goldenWorkload() []Job {
+	plans := SyntheticPlan(21, 8, 6, 2, 3)
+	specs := []JobSpec{
+		{ID: "job-00", Tenant: "tenant-0", Priority: 0, Submit: 0},
+		{ID: "job-01", Tenant: "tenant-0", Priority: 1, Submit: 0.0001},
+		{ID: "job-02", Tenant: "tenant-1", Priority: 2, Submit: 0.0002},
+		{ID: "job-03", Tenant: "tenant-0", Priority: 0, Submit: 0.0003},
+		{ID: "job-04", Tenant: "tenant-1", Priority: 1, Submit: 0.0004},
+		{ID: "job-05", Tenant: "tenant-2", Priority: 2, Submit: 0.0005},
+	}
+	jobs := make([]Job, len(specs))
+	for i, sp := range specs {
+		jobs[i] = Job{Spec: sp, Plan: plans[i : i+1]}
+	}
+	return jobs
+}
+
+// completionOrder extracts job IDs in job-end order (last plan job's end).
+func completionOrder(events []trace.Event) []string {
+	done := make(map[string]bool)
+	var out []string
+	for _, ev := range events {
+		if ev.Kind != trace.KindJobEnd {
+			continue
+		}
+		id := ev.Job[:len("job-00")] // exec names are "job-NN/..."
+		if !done[id] {
+			done[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// admissionOrder extracts job IDs in job-admitted order.
+func admissionOrder(events []trace.Event) []string {
+	var out []string
+	for _, ev := range events {
+		if ev.Kind == trace.KindJobAdmitted {
+			out = append(out, ev.Job)
+		}
+	}
+	return out
+}
+
+func preemptCounts(recs []Record) map[string]int {
+	out := make(map[string]int)
+	for _, r := range recs {
+		if r.Preemptions > 0 {
+			out[r.ID] = r.Preemptions
+		}
+	}
+	return out
+}
+
+// TestPolicyGoldenOrders pins the exact scheduling decisions of every
+// policy on the fixed workload. These orders are behavior, not incident:
+// FIFO runs to completion in arrival order; Priority preempts job-00 at its
+// first barrier for the priority-2 jobs and resumes it before equal-
+// priority-but-later job-03; Fair rotates tenants by accrued service.
+func TestPolicyGoldenOrders(t *testing.T) {
+	want := map[Policy]struct {
+		completion []string
+		admission  []string
+		preempt    map[string]int
+	}{
+		FIFO: {
+			completion: []string{"job-00", "job-01", "job-02", "job-03", "job-04", "job-05"},
+			admission:  []string{"job-00", "job-01", "job-02", "job-03", "job-04", "job-05"},
+			preempt:    map[string]int{},
+		},
+		Fair: {
+			completion: []string{"job-05", "job-00", "job-02", "job-01", "job-04", "job-03"},
+			admission:  []string{"job-00", "job-02", "job-05", "job-01", "job-04", "job-03"},
+			preempt:    map[string]int{"job-00": 1, "job-01": 1, "job-02": 1, "job-04": 1},
+		},
+		Priority: {
+			completion: []string{"job-02", "job-05", "job-01", "job-04", "job-00", "job-03"},
+			admission:  []string{"job-00", "job-02", "job-05", "job-01", "job-04", "job-03"},
+			preempt:    map[string]int{"job-00": 1},
+		},
+	}
+	for _, pol := range Policies {
+		t.Run(pol.String(), func(t *testing.T) {
+			jobs := goldenWorkload()
+			rec := trace.NewRecorder()
+			recs, err := Run(Config{Topo: testTopo(), Policy: pol, Concurrency: 1, Trace: rec}, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w := want[pol]
+			if got := completionOrder(rec.Events()); !reflect.DeepEqual(got, w.completion) {
+				t.Errorf("completion order %v, want %v", got, w.completion)
+			}
+			if got := admissionOrder(rec.Events()); !reflect.DeepEqual(got, w.admission) {
+				t.Errorf("admission order %v, want %v", got, w.admission)
+			}
+			if got := preemptCounts(recs); !reflect.DeepEqual(got, w.preempt) {
+				t.Errorf("preemptions %v, want %v", got, w.preempt)
+			}
+			for _, r := range recs {
+				if r.Rejected {
+					t.Errorf("job %s rejected without a queue limit", r.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCausalEdges pins the causal-edge contract of the scheduler
+// events on the FIFO golden run: admissions are caused by their own queued
+// event, queued events chain by arrival, preemptions/resumes bracket.
+func TestGoldenCausalEdges(t *testing.T) {
+	rec := trace.NewRecorder()
+	if _, err := Run(Config{Topo: testTopo(), Policy: Priority, Concurrency: 1, Trace: rec}, goldenWorkload()); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Events()
+	queuedOf := make(map[string]int)
+	preemptOf := make(map[string]int)
+	prevQueued := trace.None
+	for _, ev := range events {
+		switch ev.Kind {
+		case trace.KindJobQueued:
+			if ev.Cause != prevQueued {
+				t.Errorf("queued %s: cause %d, want previous queued %d", ev.Job, ev.Cause, prevQueued)
+			}
+			prevQueued = ev.Seq
+			queuedOf[ev.Job] = ev.Seq
+		case trace.KindJobAdmitted:
+			if ev.Cause != queuedOf[ev.Job] {
+				t.Errorf("admitted %s: cause %d, want its queued %d", ev.Job, ev.Cause, queuedOf[ev.Job])
+			}
+		case trace.KindJobPreempted:
+			if ev.Cause == trace.None {
+				t.Errorf("preempted %s has no cause", ev.Job)
+			}
+			if events[ev.Cause].Kind != trace.KindStageEnd && events[ev.Cause].Kind != trace.KindJobEnd {
+				t.Errorf("preempted %s caused by %s, want its barrier's stage-end/job-end", ev.Job, events[ev.Cause].Kind)
+			}
+			preemptOf[ev.Job] = ev.Seq
+		case trace.KindJobResumed:
+			if ev.Cause != preemptOf[ev.Job] {
+				t.Errorf("resumed %s: cause %d, want its preemption %d", ev.Job, ev.Cause, preemptOf[ev.Job])
+			}
+		}
+	}
+	if len(preemptOf) == 0 {
+		t.Fatal("priority golden run preempted nobody")
+	}
+}

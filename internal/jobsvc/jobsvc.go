@@ -1,0 +1,756 @@
+// Package jobsvc is Surfer's multi-tenant job service: a submission queue
+// over the simulated cluster that runs many jobs *concurrently* in one
+// virtual clock, so their transfers contend on the same per-machine NICs
+// and links — the cloud regime of §1–2 where network bandwidth is the
+// shared, fought-over resource, generalizing the one-job-at-a-time
+// scheduler package.
+//
+// A job arrives at its spec's submit time, waits in the queue for a run
+// slot (Config.Concurrency bounds how many jobs hold the cluster at once),
+// and then executes its pre-planned engine jobs stage by stage. Scheduling
+// decisions happen only at arrivals and stage barriers — a running stage is
+// never torn down — which keeps preemption cheap and the determinism
+// argument simple. Three policies order the queue: FIFO (submission order,
+// run to completion), Fair (CFS-style: the tenant with the least delivered
+// machine-seconds runs next, so a heavy tenant is preempted at barriers
+// while light tenants catch up), and Priority (strict: a higher-priority
+// arrival preempts lower-priority jobs at their next barrier). Admission
+// control (Config.QueueLimit) rejects arrivals when the queue is over
+// budget, deterministically.
+//
+// Determinism contract: the service is one serial discrete-event loop in
+// virtual time — the worker pool parallelism of the engine only ever runs
+// semantic *planning* compute (see propagation.PlanIterations), never this
+// loop — so per-job results, latencies and the trace stream are
+// bit-identical for every worker count, with or without a fault schedule.
+// Every scheduler decision is traced (job-queued / job-admitted /
+// job-preempted / job-resumed / job-rejected) with causal edges, so
+// surfer-analyze can attribute makespan to queueing (the queued-preempted
+// blame category).
+package jobsvc
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Policy selects the queue-ordering discipline.
+type Policy int
+
+const (
+	// FIFO runs jobs in submission order, to completion (no preemption).
+	FIFO Policy = iota
+	// Fair is CFS-style fair sharing: each tenant accrues virtual runtime
+	// (delivered machine-seconds); the runnable job of the least-served
+	// tenant wins every barrier. New tenants start at the minimum live
+	// vruntime, so they get service promptly without starving incumbents.
+	Fair
+	// Priority is strict priority (higher Spec.Priority first, ties by
+	// submission order) with preemption at stage barriers.
+	Priority
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case Fair:
+		return "fair"
+	case Priority:
+		return "priority"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Policies lists every policy in report order.
+var Policies = []Policy{FIFO, Fair, Priority}
+
+// ParsePolicy resolves a policy name ("fifo", "fair", "priority").
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("jobsvc: unknown policy %q (want fifo, fair or priority)", s)
+}
+
+// Config configures one service run.
+type Config struct {
+	Topo   *cluster.Topology
+	Policy Policy
+	// Concurrency is how many jobs may hold the cluster (have an active
+	// stage) at once. <= 0 selects 2.
+	Concurrency int
+	// QueueLimit bounds the jobs waiting for admission: an arrival that
+	// finds QueueLimit jobs already queued is rejected. 0 = unlimited.
+	QueueLimit int
+	// SlotsPerMachine is each machine's task slot count. <= 0 selects 1.
+	SlotsPerMachine int
+	// Trace receives the event stream; nil disables tracing.
+	Trace *trace.Recorder
+	// Faults injects transient link faults and machine slowdowns shared by
+	// every job; Retry tunes dropped-transfer recovery.
+	Faults *fault.Schedule
+	Retry  fault.RetryPolicy
+}
+
+// Job is one unit of submission: a spec plus its pre-planned engine jobs.
+// Plans are pure functions of graph, program and placement (see
+// propagation.PlanIterations), so planning once and replaying under any
+// policy yields identical per-job results.
+type Job struct {
+	Spec JobSpec
+	Plan []*engine.Job
+}
+
+// Record is the service's account of one submitted job.
+type Record struct {
+	ID       string `json:"id"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority"`
+	// Submitted, Admitted and Finished are virtual times; Admitted and
+	// Finished are zero for rejected jobs.
+	Submitted float64 `json:"submitted"`
+	Admitted  float64 `json:"admitted"`
+	Finished  float64 `json:"finished"`
+	// Rejected reports the job was refused by admission control.
+	Rejected bool `json:"rejected,omitempty"`
+	// Preemptions counts barrier preemptions the job suffered.
+	Preemptions int `json:"preemptions,omitempty"`
+	// Resource accounting over the job's whole plan.
+	MachineSeconds  float64 `json:"machine_seconds"`
+	NetworkBytes    int64   `json:"network_bytes"`
+	DiskBytes       int64   `json:"disk_bytes"`
+	TasksRun        int     `json:"tasks_run"`
+	TransferDrops   int     `json:"transfer_drops,omitempty"`
+	TransferRetries int     `json:"transfer_retries,omitempty"`
+}
+
+// Latency is the submit→finish response time (0 for rejected jobs).
+func (r Record) Latency() float64 {
+	if r.Rejected {
+		return 0
+	}
+	return r.Finished - r.Submitted
+}
+
+// WaitSeconds is the submit→admit queueing delay (0 for rejected jobs).
+func (r Record) WaitSeconds() float64 {
+	if r.Rejected {
+		return 0
+	}
+	return r.Admitted - r.Submitted
+}
+
+// Run executes the workload under the config's policy and returns one
+// record per job, in arrival order (ties by input order).
+func Run(cfg Config, jobs []Job) ([]Record, error) {
+	s, err := newService(cfg, jobs)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// jobState is a submitted job's lifecycle position.
+type jobState int
+
+const (
+	jsQueued  jobState = iota
+	jsActive           // holds a run slot, stage in flight
+	jsBarrier          // between stages, still holding its candidacy this instant
+	jsPreempted
+	jsDone
+	jsRejected
+)
+
+// jobRun is the service's mutable state for one submitted job.
+type jobRun struct {
+	job   Job
+	idx   int // arrival order
+	state jobState
+	// planIdx/stageIdx locate the next (or running) stage.
+	planIdx  int
+	stageIdx int
+	// Running-stage bookkeeping, engine-equivalent: remaining tasks,
+	// in-flight transfers, and the barrier's binding event.
+	remaining     int
+	inflight      int
+	stageEnd      float64
+	stageEndCause int
+	dispatchCause int
+	// stageMach is the stage's delivered machine-seconds, accrued into the
+	// tenant's fair-share vruntime at the barrier.
+	stageMach float64
+	// Trace threading.
+	queuedSeq  int
+	preemptSeq int
+	nextCause  int // cause of the job's next begin/stage-begin
+	rec        Record
+}
+
+func (jr *jobRun) id() string { return jr.job.Spec.ID }
+
+// curPlan returns the engine job the next/running stage belongs to.
+func (jr *jobRun) curPlan() *engine.Job { return jr.job.Plan[jr.planIdx] }
+
+// execName is the trace label of the job's current engine job: the spec ID
+// plus the plan-job name, unique across tenants even when two jobs run the
+// same app.
+func (jr *jobRun) execName() string { return jr.id() + "/" + jr.curPlan().Name }
+
+// event kinds, in tie-break order at equal virtual times: arrivals resolve
+// before completions so a same-instant arrival is visible to the schedule
+// pass its barrier triggers.
+const (
+	evArrival = iota
+	evTaskDone
+	evTransferDone
+	evTransferRetry
+)
+
+type event struct {
+	at   float64
+	kind int
+	seq  int
+	// evArrival / evTransferDone
+	jr *jobRun
+	// evTaskDone
+	st       *simTask
+	machine  cluster.MachineID
+	start    float64
+	dur      float64
+	startSeq int
+	// evTransferDone / evTransferRetry
+	transfer *pendingTransfer
+	traceSeq int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// simTask is one enqueued task execution, tagged with its owning job.
+type simTask struct {
+	jr *jobRun
+	t  *engine.Task
+}
+
+type pendingTransfer struct {
+	jr      *jobRun
+	src     cluster.MachineID
+	dst     cluster.MachineID
+	bytes   int64
+	part    int
+	dstName string
+	attempt int
+	cause   int
+}
+
+// service is the multi-job discrete-event simulator. Everything here runs
+// on the caller's goroutine — the serial loop is the determinism anchor.
+type service struct {
+	cfg    Config
+	tr     *trace.Recorder
+	faults *fault.Schedule
+	retry  fault.RetryPolicy
+
+	events eventHeap
+	seq    int
+
+	// Shared cluster state: task slots and NIC free-times span jobs, which
+	// is the whole point — concurrent tenants contend here.
+	running     []int
+	queues      [][]*simTask
+	egressFree  []float64
+	ingressFree []float64
+
+	jobs      []*jobRun // arrival order
+	queued    []*jobRun // waiting for admission, arrival order
+	preempted []*jobRun // preemption order
+	active    int       // jobs holding a run slot
+
+	// vruntime is each tenant's fair-share clock: delivered machine-seconds.
+	vruntime map[string]float64
+
+	// lastQueuedSeq chains arrival events causally (first arrival is root).
+	lastQueuedSeq int
+
+	err error
+}
+
+func newService(cfg Config, jobs []Job) (*service, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("jobsvc: config without a topology")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.SlotsPerMachine <= 0 {
+		cfg.SlotsPerMachine = 1
+	}
+	if err := cfg.Faults.Validate(cfg.Topo.NumMachines()); err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(jobs))
+	for i := range jobs {
+		j := &jobs[i]
+		if j.Spec.ID == "" {
+			return nil, fmt.Errorf("jobsvc: job %d has no ID", i)
+		}
+		if seen[j.Spec.ID] {
+			return nil, fmt.Errorf("jobsvc: duplicate job ID %q", j.Spec.ID)
+		}
+		seen[j.Spec.ID] = true
+		if j.Spec.Tenant == "" {
+			return nil, fmt.Errorf("jobsvc: job %q has no tenant", j.Spec.ID)
+		}
+		if j.Spec.Submit < 0 {
+			return nil, fmt.Errorf("jobsvc: job %q submits at negative time %g", j.Spec.ID, j.Spec.Submit)
+		}
+		if len(j.Plan) == 0 {
+			return nil, fmt.Errorf("jobsvc: job %q has an empty plan", j.Spec.ID)
+		}
+		for _, pj := range j.Plan {
+			if err := pj.Validate(cfg.Topo); err != nil {
+				return nil, fmt.Errorf("jobsvc: job %q: %w", j.Spec.ID, err)
+			}
+			for si, st := range pj.Stages {
+				if len(st.Tasks) == 0 {
+					return nil, fmt.Errorf("jobsvc: job %q plan %q stage %d has no tasks", j.Spec.ID, pj.Name, si)
+				}
+			}
+		}
+	}
+	n := cfg.Topo.NumMachines()
+	s := &service{
+		cfg:           cfg,
+		tr:            cfg.Trace,
+		faults:        cfg.Faults,
+		retry:         cfg.Retry.WithDefaults(),
+		running:       make([]int, n),
+		queues:        make([][]*simTask, n),
+		egressFree:    make([]float64, n),
+		ingressFree:   make([]float64, n),
+		vruntime:      make(map[string]float64),
+		lastQueuedSeq: trace.None,
+	}
+	// Arrival order: submit time, ties by input order (stable).
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return jobs[order[a]].Spec.Submit < jobs[order[b]].Spec.Submit
+	})
+	for idx, ji := range order {
+		jr := &jobRun{job: jobs[ji], idx: idx, nextCause: trace.None}
+		jr.rec = Record{
+			ID:       jr.job.Spec.ID,
+			Tenant:   jr.job.Spec.Tenant,
+			Priority: jr.job.Spec.Priority,
+		}
+		s.jobs = append(s.jobs, jr)
+		s.push(&event{at: jr.job.Spec.Submit, kind: evArrival, jr: jr})
+	}
+	return s, nil
+}
+
+func (s *service) push(e *event) {
+	e.seq = s.seq
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+func (s *service) run() ([]Record, error) {
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		switch e.kind {
+		case evArrival:
+			s.onArrival(e.jr, e.at)
+		case evTaskDone:
+			s.onTaskDone(e)
+		case evTransferDone:
+			jr := e.jr
+			jr.inflight--
+			s.noteStageEvent(jr, e.at, e.traceSeq)
+			if jr.remaining == 0 && jr.inflight == 0 {
+				s.finishStage(jr, e.at)
+			}
+		case evTransferRetry:
+			s.onTransferRetry(e)
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	recs := make([]Record, len(s.jobs))
+	for i, jr := range s.jobs {
+		if jr.state != jsDone && jr.state != jsRejected {
+			return nil, fmt.Errorf("jobsvc: job %q stalled in state %d with no events pending", jr.id(), jr.state)
+		}
+		recs[i] = jr.rec
+	}
+	return recs, nil
+}
+
+// onArrival queues (or rejects) an arriving job and runs a schedule pass.
+func (s *service) onArrival(jr *jobRun, at float64) {
+	jr.rec.Submitted = at
+	jr.queuedSeq = s.tr.Emit(trace.Event{Kind: trace.KindJobQueued, Job: jr.id(),
+		Cause: s.lastQueuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
+		Time: at})
+	s.lastQueuedSeq = jr.queuedSeq
+	if s.cfg.QueueLimit > 0 && len(s.queued) >= s.cfg.QueueLimit {
+		s.tr.Emit(trace.Event{Kind: trace.KindJobRejected, Job: jr.id(),
+			Cause: jr.queuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Time: at})
+		jr.state = jsRejected
+		jr.rec.Rejected = true
+		return
+	}
+	jr.state = jsQueued
+	// Fair-share placement: a tenant's first live job starts its vruntime
+	// at the minimum over tenants with unfinished jobs, so newcomers
+	// neither monopolize (no zero debt to pay off) nor starve.
+	if _, known := s.vruntime[jr.job.Spec.Tenant]; !known {
+		s.vruntime[jr.job.Spec.Tenant] = s.minLiveVruntime()
+	}
+	s.queued = append(s.queued, jr)
+	s.schedule(at, nil)
+}
+
+// minLiveVruntime scans jobs (a deterministic slice, never the map) for the
+// smallest vruntime among tenants that still have unfinished jobs.
+func (s *service) minLiveVruntime() float64 {
+	min, found := 0.0, false
+	for _, jr := range s.jobs {
+		if jr.state == jsDone || jr.state == jsRejected {
+			continue
+		}
+		v, known := s.vruntime[jr.job.Spec.Tenant]
+		if !known {
+			continue
+		}
+		if !found || v < min {
+			min, found = v, true
+		}
+	}
+	return min
+}
+
+// rankLess orders schedulable candidates under the policy. Lower ranks run
+// first; ties always fall back to arrival order, which is unique.
+func (s *service) rankLess(a, b *jobRun) bool {
+	switch s.cfg.Policy {
+	case Fair:
+		va, vb := s.vruntime[a.job.Spec.Tenant], s.vruntime[b.job.Spec.Tenant]
+		if va != vb {
+			return va < vb
+		}
+	case Priority:
+		if a.job.Spec.Priority != b.job.Spec.Priority {
+			return a.job.Spec.Priority > b.job.Spec.Priority
+		}
+	default:
+		// FIFO: jobs already admitted (barrier/preempted) outrank queued
+		// ones, so admitted jobs run to completion; both classes order by
+		// arrival.
+		ca, cb := a.state == jsQueued, b.state == jsQueued
+		if ca != cb {
+			return cb
+		}
+	}
+	return a.idx < b.idx
+}
+
+// schedule is the only place run slots change hands. It runs at arrivals,
+// stage barriers and job completions; barrier (if non-nil) is a job that
+// just finished a stage and competes to continue. Candidates are ranked
+// under the policy and granted free slots; a losing barrier job is
+// preempted.
+func (s *service) schedule(now float64, barrier *jobRun) {
+	cands := make([]*jobRun, 0, 1+len(s.preempted)+len(s.queued))
+	if barrier != nil {
+		cands = append(cands, barrier)
+	}
+	cands = append(cands, s.preempted...)
+	cands = append(cands, s.queued...)
+	sort.SliceStable(cands, func(i, j int) bool { return s.rankLess(cands[i], cands[j]) })
+	free := s.cfg.Concurrency - s.active
+	if free > len(cands) {
+		free = len(cands)
+	}
+	for _, jr := range cands[:free] {
+		s.grant(jr, now)
+	}
+	if barrier != nil && barrier.state == jsBarrier {
+		// The barrier job lost its slot: preempt at the barrier.
+		barrier.preemptSeq = s.tr.Emit(trace.Event{Kind: trace.KindJobPreempted,
+			Job: barrier.id(), Cause: barrier.nextCause, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: now})
+		barrier.state = jsPreempted
+		barrier.rec.Preemptions++
+		s.preempted = append(s.preempted, barrier)
+	}
+}
+
+// grant gives jr a run slot and starts its next stage.
+func (s *service) grant(jr *jobRun, now float64) {
+	switch jr.state {
+	case jsQueued:
+		s.queued = removeJob(s.queued, jr)
+		admitSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobAdmitted, Job: jr.id(),
+			Cause: jr.queuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Time: now})
+		jr.rec.Admitted = now
+		jr.nextCause = admitSeq
+	case jsPreempted:
+		s.preempted = removeJob(s.preempted, jr)
+		resumeSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobResumed, Job: jr.id(),
+			Cause: jr.preemptSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Time: now})
+		jr.nextCause = resumeSeq
+	case jsBarrier:
+		// Continuing at its own barrier; nextCause is the stage/job end.
+	default:
+		panic(fmt.Sprintf("jobsvc: granting job %q in state %d", jr.id(), jr.state))
+	}
+	jr.state = jsActive
+	s.active++
+	s.startStage(jr, now)
+}
+
+func removeJob(list []*jobRun, jr *jobRun) []*jobRun {
+	for i, x := range list {
+		if x == jr {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	panic("jobsvc: job missing from its scheduler list")
+}
+
+// startStage opens jr's next stage: emits begin markers, enqueues the
+// stage's tasks on their machines and launches what fits in the free slots.
+func (s *service) startStage(jr *jobRun, now float64) {
+	plan := jr.curPlan()
+	if jr.stageIdx == 0 {
+		jr.nextCause = s.tr.Emit(trace.Event{Kind: trace.KindJobBegin, Job: jr.execName(),
+			Cause: jr.nextCause, Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Time: now})
+	}
+	stage := plan.Stages[jr.stageIdx]
+	beginSeq := s.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: jr.execName(),
+		Stage: stage.Name, Cause: jr.nextCause, Machine: trace.None, Dst: trace.None,
+		Part: trace.None, Time: now})
+	jr.remaining = len(stage.Tasks)
+	jr.inflight = 0
+	jr.stageMach = 0
+	jr.stageEnd = now
+	jr.stageEndCause = beginSeq
+	jr.dispatchCause = beginSeq
+	touched := make([]cluster.MachineID, 0, len(stage.Tasks))
+	for _, t := range stage.Tasks {
+		if len(s.queues[t.Machine]) == 0 {
+			touched = append(touched, t.Machine)
+		}
+		s.queues[t.Machine] = append(s.queues[t.Machine], &simTask{jr: jr, t: t})
+	}
+	// Machines in ID order for determinism (engine-equivalent); only ones
+	// this stage touched can have gained runnable work.
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+	for _, m := range touched {
+		s.startNext(m, now, jr.dispatchCause)
+	}
+}
+
+// startNext launches queued tasks on machine m until its slots fill or its
+// queue drains. The queue is shared across jobs: contention for task slots
+// is FIFO in enqueue order, whatever the owning job.
+func (s *service) startNext(m cluster.MachineID, now float64, cause int) {
+	for s.running[m] < s.cfg.SlotsPerMachine && len(s.queues[m]) > 0 {
+		st := s.queues[m][0]
+		s.queues[m] = s.queues[m][1:]
+		s.running[m]++
+		dur := s.taskDuration(st.t) * s.faults.SlowdownFactor(m, now)
+		startSeq := s.tr.Emit(trace.Event{Kind: trace.KindTaskStart, Job: st.jr.execName(),
+			Stage: st.jr.curStageName(), Name: st.t.Name, Cause: cause, Machine: int(m),
+			Dst: trace.None, Part: int(st.t.Part), Time: now, Start: now})
+		s.push(&event{at: now + dur, kind: evTaskDone, st: st, machine: m,
+			start: now, dur: dur, startSeq: startSeq})
+	}
+}
+
+func (jr *jobRun) curStageName() string { return jr.curPlan().Stages[jr.stageIdx].Name }
+
+func (s *service) taskDuration(t *engine.Task) float64 {
+	return t.Compute + float64(t.DiskRead+t.DiskWrite)/s.cfg.Topo.DiskBandwidth()
+}
+
+// noteStageEvent advances jr's barrier clock: the last event to move it is
+// the stage barrier's binding event, the stage-end's cause.
+func (s *service) noteStageEvent(jr *jobRun, at float64, seq int) {
+	if at > jr.stageEnd {
+		jr.stageEnd = at
+		jr.stageEndCause = seq
+	}
+}
+
+func (s *service) onTaskDone(e *event) {
+	st := e.st
+	jr := st.jr
+	t := st.t
+	jr.rec.MachineSeconds += e.dur
+	jr.rec.DiskBytes += t.DiskRead + t.DiskWrite
+	jr.rec.TasksRun++
+	jr.stageMach += e.dur
+	endSeq := s.tr.Emit(trace.Event{Kind: trace.KindTaskEnd, Job: jr.execName(),
+		Stage: jr.curStageName(), Name: t.Name, Cause: e.startSeq, Machine: int(e.machine),
+		Dst: trace.None, Part: int(t.Part), Time: e.at, Start: e.start, End: e.at})
+	s.running[e.machine]--
+	jr.remaining--
+	s.noteStageEvent(jr, e.at, endSeq)
+	// Launch output transfers toward next-stage task machines.
+	if len(t.Outputs) > 0 {
+		next := jr.curPlan().Stages[jr.stageIdx+1]
+		for _, out := range t.Outputs {
+			dst := next.Tasks[out.DstTask]
+			s.sendBytes(jr, e.machine, dst.Machine, out.Bytes, e.at, int(dst.Part), dst.Name, endSeq)
+		}
+	}
+	// The freed slot goes to the head of the shared machine queue —
+	// possibly another tenant's task.
+	s.startNext(e.machine, e.at, endSeq)
+	if s.err == nil && jr.remaining == 0 && jr.inflight == 0 {
+		s.finishStage(jr, e.at)
+	}
+}
+
+// sendBytes schedules a transfer, serializing on the shared egress/ingress
+// NIC free-times — where cross-job contention happens. Intra-machine moves
+// are free.
+func (s *service) sendBytes(jr *jobRun, src, dst cluster.MachineID, bytes int64, now float64, dstPart int, dstName string, cause int) {
+	if bytes <= 0 || src == dst {
+		return
+	}
+	jr.inflight++
+	s.dispatch(&pendingTransfer{jr: jr, src: src, dst: dst, bytes: bytes,
+		part: dstPart, dstName: dstName, cause: cause}, now)
+}
+
+// dispatch issues one attempt of a (possibly retried) transfer, with the
+// engine's fault semantics: a blackholed attempt holds both NICs until the
+// sender's timeout, then schedules a backoff retry.
+func (s *service) dispatch(ts *pendingTransfer, now float64) {
+	jr := ts.jr
+	egFree, inFree := s.egressFree[ts.src], s.ingressFree[ts.dst]
+	start := now
+	if egFree > start {
+		start = egFree
+	}
+	if inFree > start {
+		start = inFree
+	}
+	if s.faults.DropsTransfer(ts.src, ts.dst, start) {
+		detect := start + s.retry.Timeout
+		s.egressFree[ts.src] = detect
+		s.ingressFree[ts.dst] = detect
+		ts.attempt++
+		jr.rec.TransferDrops++
+		dropSeq := s.tr.Emit(trace.Event{Kind: trace.KindTransferDrop, Job: jr.execName(),
+			Stage: jr.curStageName(), Name: ts.dstName, Cause: ts.cause,
+			Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Bytes: ts.bytes,
+			Time: now, Start: start, End: detect, Attempt: ts.attempt})
+		if s.retry.MaxAttempts > 0 && ts.attempt >= s.retry.MaxAttempts {
+			s.err = fmt.Errorf("jobsvc: job %q transfer %d→%d (%d bytes) dropped %d times; retry budget exhausted",
+				jr.id(), ts.src, ts.dst, ts.bytes, ts.attempt)
+			return
+		}
+		s.noteStageEvent(jr, detect, dropSeq)
+		s.push(&event{at: detect + s.retry.BackoffAt(ts.attempt), kind: evTransferRetry,
+			transfer: ts, traceSeq: dropSeq})
+		return
+	}
+	factor := s.faults.LinkFactor(ts.src, ts.dst, start)
+	dur := float64(ts.bytes) * factor / s.cfg.Topo.Bandwidth(ts.src, ts.dst)
+	s.egressFree[ts.src] = start + dur
+	s.ingressFree[ts.dst] = start + dur
+	jr.rec.NetworkBytes += ts.bytes
+	seq := s.tr.Emit(trace.Event{Kind: trace.KindTransfer, Job: jr.execName(),
+		Stage: jr.curStageName(), Name: ts.dstName, Cause: ts.cause,
+		Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Bytes: ts.bytes,
+		Time: now, Start: start, End: start + dur, Stall: start - now,
+		Incast:  inFree > now && inFree >= egFree,
+		Attempt: ts.attempt, Degraded: factor > 1})
+	s.push(&event{at: start + dur, kind: evTransferDone, jr: jr, traceSeq: seq})
+}
+
+func (s *service) onTransferRetry(e *event) {
+	ts := e.transfer
+	jr := ts.jr
+	jr.rec.TransferRetries++
+	retrySeq := s.tr.Emit(trace.Event{Kind: trace.KindTransferRetry, Job: jr.execName(),
+		Stage: jr.curStageName(), Name: ts.dstName, Cause: e.traceSeq,
+		Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Time: e.at,
+		Attempt: ts.attempt})
+	s.noteStageEvent(jr, e.at, retrySeq)
+	ts.cause = retrySeq
+	s.dispatch(ts, e.at)
+}
+
+// finishStage closes jr's stage barrier, accrues fair-share vruntime,
+// releases the run slot and runs a schedule pass with jr competing to
+// continue (or completing the job).
+func (s *service) finishStage(jr *jobRun, now float64) {
+	plan := jr.curPlan()
+	stage := plan.Stages[jr.stageIdx]
+	endSeq := s.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: jr.execName(),
+		Stage: stage.Name, Cause: jr.stageEndCause, Machine: trace.None,
+		Dst: trace.None, Part: trace.None, Time: jr.stageEnd})
+	s.active--
+	s.vruntime[jr.job.Spec.Tenant] += jr.stageMach
+	jr.nextCause = endSeq
+	jr.stageIdx++
+	if jr.stageIdx >= len(plan.Stages) {
+		jobEndSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobEnd, Job: jr.execName(),
+			Cause: endSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
+			Time: jr.stageEnd})
+		jr.nextCause = jobEndSeq
+		jr.planIdx++
+		jr.stageIdx = 0
+		if jr.planIdx >= len(jr.job.Plan) {
+			jr.state = jsDone
+			jr.rec.Finished = jr.stageEnd
+			s.schedule(now, nil)
+			return
+		}
+	}
+	jr.state = jsBarrier
+	s.schedule(now, jr)
+}

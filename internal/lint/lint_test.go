@@ -161,7 +161,8 @@ func TestSanctionedPoolExempt(t *testing.T) {
 }
 
 // TestDocSync pins SL004: the fixture metrics doc omits exactly the
-// "spill" kind.
+// "spill" kind and the scheduler's "job-preempted" — documented kinds,
+// including the scheduler's "job-queued", stay silent.
 func TestDocSync(t *testing.T) {
 	var docs []lint.Finding
 	for _, f := range corpusFindings(t) {
@@ -169,11 +170,19 @@ func TestDocSync(t *testing.T) {
 			docs = append(docs, f)
 		}
 	}
-	if len(docs) != 1 {
-		t.Fatalf("want 1 SL004 finding, got %d: %v", len(docs), docs)
+	if len(docs) != 2 {
+		t.Fatalf("want 2 SL004 findings, got %d: %v", len(docs), docs)
 	}
 	if !strings.Contains(docs[0].Message, "KindSpill") || !strings.Contains(docs[0].Message, `"spill"`) {
 		t.Errorf("SL004 message should name KindSpill and its display string, got %q", docs[0].Message)
+	}
+	if !strings.Contains(docs[1].Message, "KindJobPreempted") || !strings.Contains(docs[1].Message, `"job-preempted"`) {
+		t.Errorf("SL004 message should name KindJobPreempted and its display string, got %q", docs[1].Message)
+	}
+	for _, f := range docs {
+		if strings.Contains(f.Message, "KindJobQueued") {
+			t.Errorf("documented scheduler kind KindJobQueued flagged: %q", f.Message)
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
-// Package trace fixture for SL004: three event kinds with String
-// mappings; the metrics doc next to this corpus documents task-start and
-// transfer but not spill — exactly one finding, at KindSpill.
+// Package trace fixture for SL004: five event kinds with String mappings;
+// the metrics doc next to this corpus documents task-start, transfer and
+// job-queued but neither spill nor the scheduler's job-preempted — exactly
+// two findings, at KindSpill and KindJobPreempted.
 package trace
 
 type EventKind uint8
@@ -9,6 +10,8 @@ const (
 	KindTaskStart EventKind = iota
 	KindTransfer
 	KindSpill
+	KindJobQueued
+	KindJobPreempted
 )
 
 func (k EventKind) String() string {
@@ -19,6 +22,10 @@ func (k EventKind) String() string {
 		return "transfer"
 	case KindSpill:
 		return "spill"
+	case KindJobQueued:
+		return "job-queued"
+	case KindJobPreempted:
+		return "job-preempted"
 	default:
 		return "unknown"
 	}

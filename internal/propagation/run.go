@@ -47,23 +47,55 @@ func Iterate[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partitio
 
 // iterateNamed is Iterate with a job label for trace output.
 func iterateNamed[V any](r *engine.Runner, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, jobName string) (*State[V], engine.Metrics, error) {
-	if len(st.Values) != pg.G.NumVertices() {
-		return nil, engine.Metrics{}, fmt.Errorf("propagation: state has %d values, graph has %d vertices", len(st.Values), pg.G.NumVertices())
+	next, job, err := planIteration(r.Pool(), pg, pl, prog, st, opt, jobName)
+	if err != nil {
+		return nil, engine.Metrics{}, err
 	}
-	if pl.NumPartitions() != pg.Part.P {
-		return nil, engine.Metrics{}, fmt.Errorf("propagation: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
-	}
-	ex := newExecution(pg, pl, prog, st, opt)
-	ex.pool = r.Pool()
-	ex.jobName = jobName
-	ex.transferAll()
-	next := ex.combineAll()
-	job := ex.buildJob()
 	m, err := r.Run(job)
 	if err != nil {
 		return nil, engine.Metrics{}, err
 	}
 	return next, m, nil
+}
+
+// planIteration computes one iteration's semantics — the next state and the
+// engine job carrying its exact I/O accounting — without running the job.
+// The semantic computation never reads the simulated clock, so the plan is
+// independent of when (or against what contention) the job later executes.
+func planIteration[V any](pool *engine.Pool, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, jobName string) (*State[V], *engine.Job, error) {
+	if len(st.Values) != pg.G.NumVertices() {
+		return nil, nil, fmt.Errorf("propagation: state has %d values, graph has %d vertices", len(st.Values), pg.G.NumVertices())
+	}
+	if pl.NumPartitions() != pg.Part.P {
+		return nil, nil, fmt.Errorf("propagation: placement covers %d partitions, graph has %d", pl.NumPartitions(), pg.Part.P)
+	}
+	ex := newExecution(pg, pl, prog, st, opt)
+	ex.pool = pool
+	ex.jobName = jobName
+	ex.transferAll()
+	next := ex.combineAll()
+	return next, ex.buildJob(), nil
+}
+
+// PlanIterations runs iters iterations of the propagation semantics only,
+// returning the per-iteration engine jobs (named "<prefix>-iter-001"...)
+// without executing them on a runner, plus the final state. A multi-tenant
+// job service replays these plans on a shared cluster: because planning is a
+// pure function of graph, program and placement, the plan — and therefore
+// the job's results — is identical however the jobs are later scheduled.
+// pool parallelizes the per-partition compute bodies (nil = serial); results
+// are bit-identical for every worker count.
+func PlanIterations[V any](pool *engine.Pool, pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options, iters int, prefix string) ([]*engine.Job, *State[V], error) {
+	jobs := make([]*engine.Job, 0, iters)
+	for i := 0; i < iters; i++ {
+		next, job, err := planIteration(pool, pg, pl, prog, st, opt, iterName(prefix, i))
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs = append(jobs, job)
+		st = next
+	}
+	return jobs, st, nil
 }
 
 // execution holds the per-iteration working state: semantic bags plus the

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -91,6 +92,12 @@ func ReadEvents(r io.Reader) (*Stream, error) {
 	}
 	var s Stream
 	if err := json.Unmarshal(data, &s); err != nil {
+		// A cut-off file fails at the very end of the input; name the real
+		// problem instead of pointing at the JSON grammar.
+		var syn *json.SyntaxError
+		if errors.As(err, &syn) && syn.Offset >= int64(len(data)) {
+			return nil, fmt.Errorf("trace: raw trace file is truncated after %d bytes (the capture was interrupted or the copy is partial): %w", len(data), err)
+		}
 		return nil, fmt.Errorf("trace: invalid raw trace JSON: %w", err)
 	}
 	if s.Format != StreamFormat {

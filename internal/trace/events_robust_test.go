@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The raw-trace reader's failure contract: a damaged file is refused with
+// an error naming the damage, and no partial stream ever escapes — a
+// truncated capture must not silently analyze as a shorter run.
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestReadEventsValidFixture(t *testing.T) {
+	s, err := ReadEvents(bytes.NewReader(readFixture(t, "valid.json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 6 || s.Topo == nil || s.Topo.Machines != 2 {
+		t.Fatalf("fixture parsed wrong: %d events, topo %+v", len(s.Events), s.Topo)
+	}
+}
+
+func TestReadEventsTruncated(t *testing.T) {
+	s, err := ReadEvents(bytes.NewReader(readFixture(t, "truncated.json")))
+	if err == nil {
+		t.Fatalf("truncated file accepted with %d events — partial success must be an error", len(s.Events))
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncation error %q should say the file is truncated", err)
+	}
+	if s != nil {
+		t.Error("truncated read returned a stream alongside the error")
+	}
+}
+
+// TestReadEventsEveryTruncationPoint: no prefix of a valid file may parse
+// except the complete one. This is the no-silent-partial-success property
+// over the whole file, not one lucky cut.
+func TestReadEventsEveryTruncationPoint(t *testing.T) {
+	// The trailing newline is cosmetic; every cut inside the JSON value
+	// itself must fail.
+	full := bytes.TrimRight(readFixture(t, "valid.json"), "\n")
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := ReadEvents(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed successfully", cut, len(full))
+		}
+	}
+	if _, err := ReadEvents(bytes.NewReader(full)); err != nil {
+		t.Fatalf("complete file rejected: %v", err)
+	}
+}
+
+func TestReadEventsCorruptJSON(t *testing.T) {
+	_, err := ReadEvents(bytes.NewReader(readFixture(t, "corrupt.json")))
+	if err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+	if !strings.Contains(err.Error(), "invalid raw trace JSON") {
+		t.Errorf("corruption error %q should name invalid JSON", err)
+	}
+	if strings.Contains(err.Error(), "truncated") {
+		t.Errorf("mid-file corruption misreported as truncation: %q", err)
+	}
+}
+
+func TestReadEventsBadSeq(t *testing.T) {
+	_, err := ReadEvents(bytes.NewReader(readFixture(t, "badseq.json")))
+	if err == nil {
+		t.Fatal("seq-gap file accepted")
+	}
+	if !strings.Contains(err.Error(), "reordered or truncated") {
+		t.Errorf("seq error %q should flag reordering/truncation", err)
+	}
+}
+
+func TestReadEventsEmptyAndForeign(t *testing.T) {
+	if _, err := ReadEvents(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	_, err := ReadEvents(strings.NewReader(`{"format":"chrome-trace","version":1,"events":[]}`))
+	if err == nil {
+		t.Fatal("foreign format accepted")
+	}
+	if !strings.Contains(err.Error(), "not a raw event trace") {
+		t.Errorf("foreign-format error %q should name the format mismatch", err)
+	}
+}

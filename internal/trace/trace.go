@@ -63,6 +63,20 @@ const (
 	// KindJobQueued marks a job arriving at the scheduler queue at Time;
 	// the gap to its KindJobBegin is scheduler queueing delay.
 	KindJobQueued
+	// KindJobAdmitted marks the job service granting a queued job a run
+	// slot; its Cause is the job's KindJobQueued event, so the walk
+	// attributes the submit→admit gap to scheduler queueing.
+	KindJobAdmitted
+	// KindJobPreempted marks a job losing its run slot at a stage barrier
+	// to a higher-ranked job; the job's state is intact and it resumes at
+	// the next stage boundary it wins.
+	KindJobPreempted
+	// KindJobResumed marks a preempted job regaining a run slot; its Cause
+	// is the job's KindJobPreempted event, bracketing the suspension.
+	KindJobResumed
+	// KindJobRejected marks admission control refusing a job at arrival
+	// (queue over its limit); the job never runs.
+	KindJobRejected
 )
 
 func (k EventKind) String() string {
@@ -99,6 +113,14 @@ func (k EventKind) String() string {
 		return "restore"
 	case KindJobQueued:
 		return "job-queued"
+	case KindJobAdmitted:
+		return "job-admitted"
+	case KindJobPreempted:
+		return "job-preempted"
+	case KindJobResumed:
+		return "job-resumed"
+	case KindJobRejected:
+		return "job-rejected"
 	default:
 		return "unknown"
 	}
