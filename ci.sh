@@ -74,3 +74,22 @@ go run ./cmd/surfer-analyze -trace "$smoke/jobs.events" | grep -q "queued-preemp
 go run ./cmd/surfer-bench -experiment multitenant -vertices 4096 -levels 4 \
     -machines 8 -json "$smoke/mt.json" > /dev/null
 go run ./cmd/surfer-analyze -compare BENCH_multitenant.json "$smoke/mt.json" -threshold 5%
+# CLI surface smoke: every tool the README quickstart documents must build
+# and print its usage on -h. (go run exits nonzero on -h; the pipeline's
+# status is grep's, which is what we assert.)
+for tool in surfer-gen surfer-part surfer-run surfer-bench surfer-trace \
+    surfer-lint surfer-analyze surfer-submit surfer-tune; do
+    go run "./cmd/$tool" -h 2>&1 | grep -q '^Usage'
+done
+# Auto-tuner smoke: a tiny deterministic search (virtual objective, fixed
+# seed) must converge on a winner and print the trace.
+go run ./cmd/surfer-tune -app nr -vertices 4096 -machines 8 -levels 3 \
+    -budget 8 -seed 42 > "$smoke/tune.txt"
+grep -q '^best:' "$smoke/tune.txt"
+# Fast-path scale gate: regenerate the 65k row of the scale trajectory at
+# the committed baseline's exact parameters and gate its virtual metrics
+# against BENCH_scale.json (-compare checks only the entries present in
+# the new report, so the baseline's 1M rows ride along as reference).
+go run ./cmd/surfer-bench -experiment scale -sizes 65536 -vertices 65536 \
+    -machines 32 -levels 6 -seed 42 -json "$smoke/scale.json" > /dev/null
+go run ./cmd/surfer-analyze -compare BENCH_scale.json "$smoke/scale.json" -threshold 5%

@@ -26,8 +26,9 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surfer-bench: ")
 	var (
-		experiment  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|parallel|multitenant|all")
+		experiment  = flag.String("experiment", "all", "table1|table2|table3|table4|table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|parallel|multitenant|scale|all")
 		vertices    = flag.Int("vertices", 1<<16, "synthetic graph vertices")
+		sizes       = flag.String("sizes", "", "comma-separated vertex counts for the scale experiment (default: -vertices)")
 		machines    = flag.Int("machines", 32, "machines in the simulated cluster")
 		levels      = flag.Int("levels", 6, "log2 of partition count")
 		seed        = flag.Int64("seed", 42, "random seed")
@@ -230,6 +231,32 @@ func main() {
 			bench.WriteMultitenant(os.Stdout, rows)
 			if jsonReport != nil {
 				jsonReport.Merge(bench.FromMultitenant(rows))
+			}
+			return nil
+		})
+	}
+	// The scale experiment measures host wall-clock phase timings besides
+	// the gated virtual metrics, so like parallel it runs only when asked.
+	if want == "scale" {
+		run("scale", func() error {
+			ns := []int{*vertices}
+			if *sizes != "" {
+				ns = ns[:0]
+				for _, f := range strings.Split(*sizes, ",") {
+					var n int
+					if _, err := fmt.Sscanf(strings.TrimSpace(f), "%d", &n); err != nil || n <= 0 {
+						return fmt.Errorf("bad -sizes entry %q", f)
+					}
+					ns = append(ns, n)
+				}
+			}
+			rows, err := bench.ScaleExperiment(s, ns, bench.AdaptiveConfig{})
+			if err != nil {
+				return err
+			}
+			bench.WriteScale(os.Stdout, rows)
+			if jsonReport != nil {
+				jsonReport.Merge(bench.FromScale(rows))
 			}
 			return nil
 		})

@@ -1,0 +1,78 @@
+// surfer-tune searches the deployment configuration space — engine workers
+// × partition count × combiner settings — by coordinate descent and reports
+// the best configuration for an application at a given scale.
+//
+// The default objective is the simulated cluster's virtual response time:
+// fully deterministic, so the same seed always reproduces the same search
+// trajectory and winner (the CI smoke relies on this). With -objective wall
+// the tuner instead minimizes host wall-clock, measured adaptively (each
+// configuration reruns until the relative standard error of the mean drops
+// below -max-rel-err or -max-runs is hit), and also sweeps the worker-pool
+// axis, which never affects virtual results.
+//
+// Usage:
+//
+//	surfer-tune -app nr -vertices 65536 -budget 24
+//	surfer-tune -app tfl -objective wall -max-rel-err 0.1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surfer-tune: ")
+	var (
+		app       = flag.String("app", "nr", "application to tune: nr|tfl")
+		vertices  = flag.Int("vertices", 1<<16, "synthetic graph vertices")
+		machines  = flag.Int("machines", 32, "machines in the simulated cluster")
+		seed      = flag.Int64("seed", 42, "random seed (drives generation, partitioning, and the deterministic objective)")
+		levels    = flag.Int("levels", 6, "starting log2 partition count")
+		levelsMin = flag.Int("levels-min", 1, "partition-count axis lower bound (log2)")
+		levelsMax = flag.Int("levels-max", 0, "partition-count axis upper bound (log2, 0 = levels+2)")
+		budget    = flag.Int("budget", 24, "maximum distinct configuration evaluations")
+		objective = flag.String("objective", "virtual", "virtual (deterministic simulated seconds) | wall (adaptive host seconds)")
+		maxRuns   = flag.Int("max-runs", 6, "wall objective: maximum reruns per configuration")
+		maxRelErr = flag.Float64("max-rel-err", 0.1, "wall objective: relative standard error convergence bound")
+		jsonOut   = flag.String("json", "", "write the result as a surfer-bench/v1 report to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.TuneConfig{
+		Scale:     bench.Scale{Vertices: *vertices, Levels: *levels, Machines: *machines, Seed: *seed},
+		App:       *app,
+		Budget:    *budget,
+		LevelsMin: *levelsMin,
+		LevelsMax: *levelsMax,
+		Adaptive:  bench.AdaptiveConfig{MaxRuns: *maxRuns, MaxRelErr: *maxRelErr},
+	}
+	switch *objective {
+	case "virtual":
+		cfg.Objective = bench.ObjVirtual
+	case "wall":
+		cfg.Objective = bench.ObjWall
+	default:
+		log.Fatalf("unknown objective %q (want virtual or wall)", *objective)
+	}
+	res, err := bench.Tune(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bench.WriteTune(os.Stdout, cfg, res)
+	if *jsonOut != "" {
+		r := bench.FromTune(cfg, res)
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

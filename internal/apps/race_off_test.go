@@ -1,0 +1,8 @@
+//go:build !race
+
+package apps
+
+// raceEnabled reports whether the race detector is compiled in; the
+// million-vertex smoke test skips under it (instrumentation makes the run
+// minutes long, and CI's race pass covers the same code at small scale).
+const raceEnabled = false

@@ -1,0 +1,66 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// TestMillionVertexSmoke drives the whole fast path — CSR social graph,
+// recursive bisection, partition metadata, pooled propagation — at a
+// million vertices (~16M directed edges) and checks TFL and NR complete
+// end to end with sane results. It exists to catch superlinear blowups
+// (per-message allocation, quadratic merge, map-heavy hot loops) that
+// small fixtures never see. Skipped in -short and under the race detector
+// (instrumentation would stretch it to minutes).
+func TestMillionVertexSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-vertex smoke skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("1M-vertex smoke skipped under -race")
+	}
+	const n = 1 << 20
+	g := graph.Social(graph.DefaultSocial(n, 42))
+	pt, _ := partition.RecursiveBisect(g, 4, partition.Options{Seed: 42})
+	pg, err := storage.Build(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := cluster.NewT1(16)
+	pl := partition.RandomPlacement(pt.P, topo, 42)
+	opt := propagation.Options{LocalPropagation: true, LocalCombination: true}
+
+	tflOut, _, err := NewTFL(10).RunPropagation(engine.New(engine.Config{Topo: topo}), pg, pl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lists := tflOut.([][]graph.VertexID)
+	var listSum int64
+	for _, l := range lists {
+		listSum += int64(len(l))
+	}
+	if listSum == 0 {
+		t.Fatal("TFL produced no two-hop lists at 1M vertices")
+	}
+
+	nrOut, _, err := NewNR(3).RunPropagation(engine.New(engine.Config{Topo: topo}), pg, pl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := nrOut.([]float64)
+	var rankSum float64
+	for _, r := range ranks {
+		rankSum += r
+	}
+	// NR keeps the rank distribution normalized: total mass 1 within
+	// float tolerance.
+	if rankSum < 0.99 || rankSum > 1.01 {
+		t.Fatalf("NR rank mass = %g, want ~1", rankSum)
+	}
+}

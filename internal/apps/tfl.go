@@ -60,17 +60,70 @@ func (p *tflProgram) Merge(_ graph.VertexID, values [][]graph.VertexID) []graph.
 	return distinctUnion(values)
 }
 
-// distinctUnion returns the sorted set union of the given lists.
+// distinctUnion returns the sorted set union of the given lists. Every
+// input is already sorted (adjacency lists from Builder.Build, or earlier
+// distinctUnion outputs), so a tournament of pairwise merges computes the
+// union in O(m log k) without re-sorting the concatenation — the dominant
+// cost of TFL at millions of vertices. Inputs are never modified.
 func distinctUnion(lists [][]graph.VertexID) []graph.VertexID {
-	var out []graph.VertexID
+	cur := make([][]graph.VertexID, 0, len(lists))
 	for _, l := range lists {
-		out = append(out, l...)
+		if len(l) > 0 {
+			cur = append(cur, l)
+		}
 	}
-	if len(out) == 0 {
+	if len(cur) == 0 {
 		return nil
 	}
-	slices.Sort(out)
-	return slices.Compact(out)
+	if len(cur) == 1 {
+		// Dedupe-copy so the result never aliases a shared adjacency list.
+		return slices.Compact(slices.Clone(cur[0]))
+	}
+	for len(cur) > 1 {
+		k := 0
+		for i := 0; i+1 < len(cur); i += 2 {
+			cur[k] = mergeDistinct(cur[i], cur[i+1])
+			k++
+		}
+		if len(cur)%2 == 1 {
+			cur[k] = cur[len(cur)-1]
+			k++
+		}
+		cur = cur[:k]
+	}
+	return cur[0]
+}
+
+// mergeDistinct merges two sorted lists into a fresh sorted list, dropping
+// duplicates within and across the inputs.
+func mergeDistinct(a, b []graph.VertexID) []graph.VertexID {
+	out := make([]graph.VertexID, 0, len(a)+len(b))
+	push := func(v graph.VertexID) {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			push(a[i])
+			i++
+		case b[j] < a[i]:
+			push(b[j])
+			j++
+		default:
+			push(a[i])
+			i, j = i+1, j+1
+		}
+	}
+	for ; i < len(a); i++ {
+		push(a[i])
+	}
+	for ; j < len(b); j++ {
+		push(b[j])
+	}
+	return out
 }
 
 // RunPropagation returns each vertex's two-hop list (indexed by vertex).

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Adaptive-runtime wall-clock measurement: rerun a benchmark body until the
+// relative standard error of the mean falls below a bound (or the run
+// budget is exhausted), so slow-but-stable cases stop early and noisy cases
+// buy more samples. Only wall-clock quantities need this — the simulated
+// metrics are bit-identical across runs and are measured once.
+
+// AdaptiveConfig bounds an adaptive measurement.
+type AdaptiveConfig struct {
+	// MinRuns and MaxRuns bound the sample count. Zero selects the
+	// defaults (2 and 6).
+	MinRuns int
+	MaxRuns int
+	// MaxRelErr is the convergence criterion: the standard error of the
+	// mean divided by the mean. Measurement stops at the first sample
+	// count >= MinRuns satisfying it. Zero selects 0.10.
+	MaxRelErr float64
+}
+
+// WithDefaults fills unset fields.
+func (c AdaptiveConfig) WithDefaults() AdaptiveConfig {
+	if c.MinRuns <= 0 {
+		c.MinRuns = 2
+	}
+	if c.MaxRuns <= 0 {
+		c.MaxRuns = 6
+	}
+	if c.MaxRuns < c.MinRuns {
+		c.MaxRuns = c.MinRuns
+	}
+	if c.MaxRelErr <= 0 {
+		c.MaxRelErr = 0.10
+	}
+	return c
+}
+
+// AdaptiveResult is one adaptively-measured wall-clock quantity.
+type AdaptiveResult struct {
+	// Mean is the sample mean in seconds; RelErr the relative standard
+	// error of the mean at stop time (0 with a single sample).
+	Mean   float64 `json:"mean_seconds"`
+	RelErr float64 `json:"rel_err"`
+	// Runs is the number of samples taken; Converged whether the bound was
+	// met within the budget.
+	Runs      int  `json:"runs"`
+	Converged bool `json:"converged"`
+}
+
+func (a AdaptiveResult) String() string {
+	return fmt.Sprintf("%.2fs ±%.0f%% (n=%d)", a.Mean, a.RelErr*100, a.Runs)
+}
+
+// relStdErr returns stderr(mean)/mean for a sample, 0 when undefined.
+func relStdErr(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(len(xs)-1))
+	return sd / math.Sqrt(float64(len(xs))) / math.Abs(mean)
+}
+
+// MeasureWall runs fn repeatedly per cfg and returns the adaptive result.
+// fn's error aborts the measurement.
+func MeasureWall(cfg AdaptiveConfig, fn func() error) (AdaptiveResult, error) {
+	cfg = cfg.WithDefaults()
+	var samples []float64
+	for len(samples) < cfg.MaxRuns {
+		start := time.Now() //lint:allow SL001 adaptive wall-clock benchmarking is this helper's purpose; simulated metrics stay deterministic
+		if err := fn(); err != nil {
+			return AdaptiveResult{}, err
+		}
+		samples = append(samples, time.Since(start).Seconds()) //lint:allow SL001 wall-clock sample of the adaptive measurement
+		if len(samples) >= cfg.MinRuns && relStdErr(samples) <= cfg.MaxRelErr {
+			break
+		}
+	}
+	var sum float64
+	for _, x := range samples {
+		sum += x
+	}
+	re := relStdErr(samples)
+	return AdaptiveResult{
+		Mean:      sum / float64(len(samples)),
+		RelErr:    re,
+		Runs:      len(samples),
+		Converged: re <= cfg.MaxRelErr,
+	}, nil
+}

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/propagation"
+	"repro/internal/storage"
+)
+
+// The scale experiment records the fast-path engine's end-to-end trajectory
+// from small to multi-million-vertex graphs: for each size it partitions
+// the social graph, builds the partition metadata, and runs TFL (1-in-10
+// sample, the paper's heaviest data mover) and NR (10 iterations) at O4.
+// Two kinds of numbers come out of one run: the simulated cluster's virtual
+// metrics, which are bit-identical across runs and gate regressions via
+// surfer-analyze -compare, and host wall-clock phase timings, measured
+// adaptively (rerun until the relative standard error converges) and
+// recorded as ungated info.
+
+// TrajectoryRow is the measurement at one graph size.
+type TrajectoryRow struct {
+	Vertices int
+	Edges    int64
+	P        int
+	// Wall-clock phase timings on the host (ungated).
+	PartitionWall AdaptiveResult
+	BuildWall     AdaptiveResult
+	TFLWall       AdaptiveResult
+	NRWall        AdaptiveResult
+	// Virtual metrics of the simulated runs (gated).
+	TFL engine.Metrics
+	NR  engine.Metrics
+}
+
+// ScaleExperiment runs the scale trajectory over the given vertex counts,
+// deriving every other parameter (seed, levels, machines) from s. The
+// wall-clock phases are measured per cfg.
+func ScaleExperiment(s Scale, sizes []int, cfg AdaptiveConfig) ([]TrajectoryRow, error) {
+	var rows []TrajectoryRow
+	for _, n := range sizes {
+		sc := s
+		sc.Vertices = n
+		row, err := scaleOne(sc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scale at %d vertices: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func scaleOne(s Scale, cfg AdaptiveConfig) (TrajectoryRow, error) {
+	g := s.MakeGraph()
+	row := TrajectoryRow{Vertices: g.NumVertices(), Edges: g.NumEdges(), P: 1 << s.Levels}
+	topo := cluster.NewT1(s.Machines)
+
+	var pt *partition.Partitioning
+	var err error
+	row.PartitionWall, err = MeasureWall(cfg, func() error {
+		pt, _ = partition.RecursiveBisect(g, s.Levels, partition.Options{Seed: s.Seed})
+		return nil
+	})
+	if err != nil {
+		return row, err
+	}
+	var pg *storage.PartitionedGraph
+	row.BuildWall, err = MeasureWall(cfg, func() error {
+		pg, err = storage.Build(g, pt)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	pl := partition.RandomPlacement(pt.P, topo, s.Seed)
+	opt := propagation.Options{LocalPropagation: true, LocalCombination: true} // O4
+
+	runApp := func(app apps.App) (engine.Metrics, AdaptiveResult, error) {
+		var m engine.Metrics
+		wall, err := MeasureWall(cfg, func() error {
+			r := engine.New(engine.Config{Topo: topo, Workers: s.Workers, Trace: s.Trace})
+			_, rm, err := app.RunPropagation(r, pg, pl, opt)
+			m = rm
+			return err
+		})
+		return m, wall, err
+	}
+	if row.TFL, row.TFLWall, err = runApp(apps.NewTFL(10)); err != nil {
+		return row, err
+	}
+	if row.NR, row.NRWall, err = runApp(apps.NewNR(10)); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// WriteScale prints the trajectory as a table.
+func WriteScale(w io.Writer, rows []TrajectoryRow) {
+	fmt.Fprintf(w, "Scale trajectory (TFL 1-in-10 + NR x10 at O4, wall ±rel err)\n")
+	fmt.Fprintf(w, "%10s %10s %5s  %-18s %-18s %-18s %-18s %12s %12s\n",
+		"vertices", "edges", "P", "partition", "build", "tfl", "nr", "tfl-virt(s)", "nr-virt(s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10d %10d %5d  %-18s %-18s %-18s %-18s %12.2f %12.2f\n",
+			r.Vertices, r.Edges, r.P,
+			r.PartitionWall, r.BuildWall, r.TFLWall, r.NRWall,
+			r.TFL.ResponseSeconds, r.NR.ResponseSeconds)
+	}
+}
+
+// scaleWallInfo flattens an adaptive result into report info fields.
+func scaleWallInfo(info map[string]float64, prefix string, a AdaptiveResult) {
+	info[prefix+"_wall_seconds"] = a.Mean
+	info[prefix+"_wall_rel_err"] = a.RelErr
+	info[prefix+"_wall_runs"] = float64(a.Runs)
+}
+
+// FromScale converts scale rows into the report schema: virtual metrics
+// gate, wall-clock phase timings go to Info.
+func FromScale(rows []TrajectoryRow) *Report {
+	r := NewReport()
+	for _, row := range rows {
+		for _, app := range []struct {
+			name string
+			m    engine.Metrics
+		}{{"tfl", row.TFL}, {"nr", row.NR}} {
+			info := map[string]float64{"edges": float64(row.Edges), "partitions": float64(row.P)}
+			scaleWallInfo(info, "partition", row.PartitionWall)
+			scaleWallInfo(info, "build", row.BuildWall)
+			if app.name == "tfl" {
+				scaleWallInfo(info, "app", row.TFLWall)
+			} else {
+				scaleWallInfo(info, "app", row.NRWall)
+			}
+			r.Entries = append(r.Entries, Entry{
+				Experiment: "scale",
+				Case:       fmt.Sprintf("%s/%d", app.name, row.Vertices),
+				Metrics: metricsOf(app.m.ResponseSeconds, app.m.MachineSeconds,
+					app.m.NetworkBytes, app.m.DiskBytes, app.m.TasksRun),
+				Info: info,
+			})
+		}
+	}
+	return r
+}

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestRelStdErr(t *testing.T) {
+	if got := relStdErr(nil); got != 0 {
+		t.Fatalf("relStdErr(nil) = %g, want 0", got)
+	}
+	if got := relStdErr([]float64{3.5}); got != 0 {
+		t.Fatalf("relStdErr(single) = %g, want 0", got)
+	}
+	if got := relStdErr([]float64{2, 2, 2, 2}); got != 0 {
+		t.Fatalf("relStdErr(constant) = %g, want 0", got)
+	}
+	// {1,3}: mean 2, sd sqrt(2), stderr sqrt(2)/sqrt(2)=1, relative 0.5.
+	if got := relStdErr([]float64{1, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("relStdErr({1,3}) = %g, want 0.5", got)
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	c := AdaptiveConfig{}.WithDefaults()
+	if c.MinRuns != 2 || c.MaxRuns != 6 || c.MaxRelErr != 0.10 {
+		t.Fatalf("defaults = %+v, want {2 6 0.1}", c)
+	}
+	// MaxRuns never drops below MinRuns.
+	c = AdaptiveConfig{MinRuns: 5, MaxRuns: 3}.WithDefaults()
+	if c.MaxRuns != 5 {
+		t.Fatalf("MaxRuns = %d, want clamped to MinRuns 5", c.MaxRuns)
+	}
+}
+
+func TestMeasureWallStopsAtMinRunsWhenStable(t *testing.T) {
+	runs := 0
+	res, err := MeasureWall(AdaptiveConfig{MinRuns: 2, MaxRuns: 6, MaxRelErr: 0.5}, func() error {
+		runs++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != runs {
+		t.Fatalf("Runs = %d but fn ran %d times", res.Runs, runs)
+	}
+	if res.Runs < 2 || res.Runs > 6 {
+		t.Fatalf("Runs = %d, want within [2, 6]", res.Runs)
+	}
+}
+
+// TestTuneDeterministic pins the determinism contract on the tuner itself:
+// under the virtual objective, two searches from the same seed must produce
+// identical traces and the same winner.
+func TestTuneDeterministic(t *testing.T) {
+	cfg := TuneConfig{
+		Scale:     Scale{Vertices: 2048, Levels: 3, Machines: 8, Seed: 42, Workers: 1},
+		App:       "nr",
+		Objective: ObjVirtual,
+		Budget:    12,
+	}
+	a, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Tune(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Best, b.Best) {
+		t.Fatalf("best diverged across identical searches:\n%+v\n%+v", a.Best, b.Best)
+	}
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatalf("trace diverged across identical searches (%d vs %d evals)", len(a.Trace), len(b.Trace))
+	}
+	if len(a.Trace) == 0 || len(a.Trace) > cfg.Budget {
+		t.Fatalf("trace has %d evals, want within (0, %d]", len(a.Trace), cfg.Budget)
+	}
+	// The winner can only improve on (or match) the starting point.
+	if a.Best.Objective > a.Trace[0].Objective {
+		t.Fatalf("best objective %.3f worse than start %.3f", a.Best.Objective, a.Trace[0].Objective)
+	}
+}
+
+func TestTuneRejectsUnknownApp(t *testing.T) {
+	_, err := Tune(TuneConfig{Scale: Scale{Vertices: 256, Levels: 2, Machines: 4, Seed: 1}, App: "nope"})
+	if err == nil {
+		t.Fatal("Tune accepted an unknown app")
+	}
+}

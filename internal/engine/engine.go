@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -71,7 +70,7 @@ type Runner struct {
 	failures []Failure // pending, sorted by At
 	// progress tracking (Appendix B): per-machine busy time and the task
 	// completion timeline of the current job.
-	busySeconds   map[cluster.MachineID]float64
+	busySeconds   []float64
 	progress      []ProgressSample
 	progressTotal int
 	// tr receives structured trace events; nil means tracing is disabled
@@ -92,6 +91,9 @@ type Runner struct {
 	faults *fault.Schedule
 	retry  fault.RetryPolicy
 	spec   fault.SpeculationPolicy
+	// evq is the simulation event queue, shared across stages and jobs so
+	// its heap storage and event freelist are reused.
+	evq eventQueue
 }
 
 // New creates a Runner.
@@ -229,16 +231,6 @@ func ValidateFailures(fs []Failure, topo *cluster.Topology, reps *storage.Replic
 // Topology exposes the simulated cluster the runner executes on.
 func (r *Runner) Topology() *cluster.Topology { return r.cfg.Topo }
 
-// event kinds for the simulation heap.
-const (
-	evTaskDone = iota
-	evTransferDone
-	evFailure
-	evRecovery
-	// evTransferRetry re-issues a dropped transfer after its backoff.
-	evTransferRetry
-)
-
 // pendingTransfer is the retry state machine of one logical transfer: the
 // same record is re-dispatched until an attempt succeeds, carrying the
 // attempt count that drives the exponential backoff.
@@ -255,81 +247,56 @@ type pendingTransfer struct {
 	cause   int
 }
 
-type event struct {
-	at   float64
-	kind int
-	seq  int // tie-break for determinism
-	// task events
+// runAttempt is one currently-executing copy of a task, registered when the
+// attempt starts and dropped when it completes or its machine dies. The
+// registry replaces scans of the event queue: the straggler check and the
+// failure handler read it directly, in attempt-start order.
+type runAttempt struct {
 	task    *Task
 	machine cluster.MachineID
-	// start and dur record the task attempt's actual start time and
-	// duration (slowdown-adjusted), so accounting never has to re-derive
-	// them from fault-dependent state.
-	start, dur float64
-	// transfer events
-	bytes    int64
-	transfer *pendingTransfer
-	// failure events
-	failMachine cluster.MachineID
-	lost        []*Task
-	// traceSeq is the Seq of the trace event whose consequence this heap
-	// event is (the transfer for evTransferDone, the failure for evRecovery,
-	// the drop for evTransferRetry); startSeq is the task-start Seq carried
-	// to the matching evTaskDone. Both None when tracing is off.
-	traceSeq int
-	startSeq int
+	dur     float64
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-
-// stageRun holds the mutable state of one stage execution.
+// stageRun holds the mutable state of one stage execution. All per-task
+// state is indexed by the task's position in the stage (Task.idx, stamped
+// at stage start) and all per-machine state by machine ID, so the event
+// loop touches only flat slices.
 type stageRun struct {
 	r        *Runner
 	job      *Job
 	stageIdx int
-	events   eventHeap
+	events   *eventQueue
 	seq      int
-	queues   map[cluster.MachineID][]*Task
+	queues   [][]*Task
 	// running counts the tasks currently executing on each machine; a
 	// machine accepts up to Config.SlotsPerMachine concurrent tasks.
-	running map[cluster.MachineID]int
+	running []int
 	// egressFree / ingressFree model the NIC as the shared resource: a
 	// transfer occupies the sender's egress and the receiver's ingress
 	// for bytes/bandwidth(src,dst) seconds. All-to-all bursts therefore
 	// serialize at the NICs (incast), as on a real cluster.
-	egressFree  map[cluster.MachineID]float64
-	ingressFree map[cluster.MachineID]float64
+	egressFree  []float64
+	ingressFree []float64
 	remaining   int
 	inflight    int
-	// taskMachine records where each task actually ran (keyed by task
-	// pointer), for input re-transfer on recovery.
-	taskMachine map[*Task]cluster.MachineID
+	// attempts registers the currently running task copies across all
+	// machines, in attempt-start order.
+	attempts []runAttempt
+	// taskMachine records where each task actually ran (-1 = nowhere yet),
+	// for input re-transfer on recovery.
+	taskMachine []cluster.MachineID
 	// committed marks tasks whose first completed copy already committed
 	// its results; later copies (speculative backups, stale completions)
 	// burn machine time but change nothing — first completion wins, and
 	// because commitment happens in the serial event loop the committed
 	// results are identical in task order for every worker count.
-	committed map[*Task]bool
+	committed []bool
 	// copies counts the currently running copies of each task (original
 	// plus speculative backups).
-	copies map[*Task]int
+	copies []int
 	// speculated marks tasks that already received a backup copy, so the
 	// straggler rule fires at most once per task.
-	speculated map[*Task]bool
+	speculated []bool
 	// doneDurs collects committed task durations for the median the
 	// speculation policy compares stragglers against.
 	doneDurs []float64
@@ -401,21 +368,28 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 
 func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRun, error) {
 	stage := job.Stages[si]
+	nm := r.cfg.Topo.NumMachines()
+	nt := len(stage.Tasks)
 	sr := &stageRun{
 		r: r, job: job, stageIdx: si,
-		queues:      make(map[cluster.MachineID][]*Task),
-		running:     make(map[cluster.MachineID]int),
-		egressFree:  make(map[cluster.MachineID]float64),
-		ingressFree: make(map[cluster.MachineID]float64),
-		taskMachine: make(map[*Task]cluster.MachineID),
-		committed:   make(map[*Task]bool),
-		copies:      make(map[*Task]int),
-		speculated:  make(map[*Task]bool),
-		remaining:   len(stage.Tasks),
+		events:      &r.evq,
+		queues:      make([][]*Task, nm),
+		running:     make([]int, nm),
+		egressFree:  make([]float64, nm),
+		ingressFree: make([]float64, nm),
+		taskMachine: make([]cluster.MachineID, nt),
+		committed:   make([]bool, nt),
+		copies:      make([]int, nt),
+		speculated:  make([]bool, nt),
+		remaining:   nt,
 		end:         r.clock,
 	}
-	// Enqueue tasks on their machines, failing over dead primaries.
-	for _, t := range stage.Tasks {
+	// Enqueue tasks on their machines, failing over dead primaries. Each
+	// task is stamped with its stage-local index, the key of all per-task
+	// state above.
+	for i, t := range stage.Tasks {
+		t.idx = i
+		sr.taskMachine[i] = -1
 		m := t.Machine
 		if r.dead[m] {
 			fm, err := r.failover(t)
@@ -435,7 +409,7 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 			if at < r.clock {
 				at = r.clock
 			}
-			sr.push(&event{at: at, kind: evFailure, failMachine: f.Machine})
+			sr.push(event{at: at, kind: evFailure, failMachine: f.Machine})
 		}
 	}
 	sr.stageBeginSeq = r.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: job.Name, Stage: stage.Name,
@@ -453,7 +427,7 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 		if sr.events.Len() == 0 {
 			return nil, fmt.Errorf("engine: stage %q deadlocked with %d tasks and %d transfers pending", stage.Name, sr.remaining, sr.inflight)
 		}
-		e := heap.Pop(&sr.events).(*event)
+		e := sr.events.pop()
 		sr.popSeq = trace.None
 		switch e.kind {
 		case evTaskDone:
@@ -477,7 +451,11 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 			sr.end = e.at
 			sr.endCause = sr.popSeq
 		}
+		sr.events.recycle(e)
 	}
+	// Recycle events the barrier left behind (stale completions of dead
+	// machines, failures armed past the stage end — re-armed next stage).
+	sr.events.reset()
 	r.clock = sr.end
 	sr.endSeq = r.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: job.Name, Stage: stage.Name,
 		Cause: sr.endCause, Machine: trace.None, Dst: trace.None, Part: trace.None, Time: sr.end})
@@ -497,10 +475,14 @@ func (sr *stageRun) emitTask(kind trace.EventKind, t *Task, m cluster.MachineID,
 	})
 }
 
-func (sr *stageRun) push(e *event) {
+// push enqueues a simulation event, copying it into a recycled record and
+// stamping the deterministic tie-break sequence.
+func (sr *stageRun) push(ev event) {
+	e := sr.events.alloc()
+	*e = ev
 	e.seq = sr.seq
 	sr.seq++
-	heap.Push(&sr.events, e)
+	sr.events.push(e)
 }
 
 // startNext launches queued tasks on machine m at time now until its slots
@@ -516,18 +498,30 @@ func (sr *stageRun) startNext(m cluster.MachineID, now float64) {
 		}
 		t := q[0]
 		sr.queues[m] = q[1:]
-		if sr.committed[t] {
+		if sr.committed[t.idx] {
 			// A queued backup whose original already finished: drop it.
 			continue
 		}
 		sr.running[m]++
-		sr.copies[t]++
+		sr.copies[t.idx]++
 		// Stragglers: a machine slowed by a transient fault stretches
 		// every task that starts during the slowdown window.
 		dur := sr.r.taskDuration(t) * sr.r.faults.SlowdownFactor(m, now)
 		sr.r.timeline.record(now, t.DiskRead)
 		startSeq := sr.emitTask(trace.KindTaskStart, t, m, now, now, 0, sr.dispatchCause)
-		sr.push(&event{at: now + dur, kind: evTaskDone, task: t, machine: m, start: now, dur: dur, startSeq: startSeq})
+		sr.attempts = append(sr.attempts, runAttempt{task: t, machine: m, dur: dur})
+		sr.push(event{at: now + dur, kind: evTaskDone, task: t, machine: m, start: now, dur: dur, startSeq: startSeq})
+	}
+}
+
+// dropAttempt unregisters the running attempt of task t on machine m,
+// preserving the start order of the remaining attempts.
+func (sr *stageRun) dropAttempt(t *Task, m cluster.MachineID) {
+	for i, a := range sr.attempts {
+		if a.task == t && a.machine == m {
+			sr.attempts = append(sr.attempts[:i], sr.attempts[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -545,6 +539,7 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 		return
 	}
 	t := e.task
+	sr.dropAttempt(t, e.machine)
 	r.metrics.MachineSeconds += e.dur
 	r.metrics.DiskBytes += t.DiskRead + t.DiskWrite
 	r.metrics.TasksRun++
@@ -553,17 +548,17 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 	r.noteTaskDone(e.machine, e.at, e.dur, r.progressTotal)
 	r.timeline.record(e.at, t.DiskWrite)
 	sr.running[e.machine]--
-	sr.copies[t]--
+	sr.copies[t.idx]--
 	// This completion frees a slot: whatever launches next is its effect.
 	sr.dispatchCause = endSeq
-	if sr.committed[t] {
+	if sr.committed[t.idx] {
 		// A speculative duplicate losing the race: its work is charged
 		// above, but the first completion already committed the results.
 		sr.startNext(e.machine, e.at)
 		return
 	}
-	sr.committed[t] = true
-	sr.taskMachine[t] = e.machine
+	sr.committed[t.idx] = true
+	sr.taskMachine[t.idx] = e.machine
 	sr.remaining--
 	sr.doneDurs = append(sr.doneDurs, e.dur)
 	// Launch output transfers toward next-stage task machines.
@@ -597,33 +592,31 @@ func (sr *stageRun) maybeSpeculate(now float64) {
 	}
 	total := len(sr.job.Stages[sr.stageIdx].Tasks)
 	median := medianOf(sr.doneDurs)
-	// Collect stragglers first: launching backups pushes events, and the
-	// heap must not be mutated while scanned.
+	// Collect stragglers from the running-attempt registry first: launching
+	// backups mutates it via startNext. Attempts on dead machines were
+	// already dropped by the failure handler.
 	type straggler struct {
 		t       *Task
 		machine cluster.MachineID
 	}
 	var found []straggler
-	for _, ev := range sr.events {
-		if ev.kind != evTaskDone || sr.committed[ev.task] || sr.speculated[ev.task] {
+	for _, a := range sr.attempts {
+		if sr.committed[a.task.idx] || sr.speculated[a.task.idx] || a.task.Part == NoPart {
 			continue
 		}
-		if r.dead[ev.machine] || ev.task.Part == NoPart {
-			continue
-		}
-		if r.spec.IsStraggler(ev.dur, median, len(sr.doneDurs), total) {
-			found = append(found, straggler{t: ev.task, machine: ev.machine})
+		if r.spec.IsStraggler(a.dur, median, len(sr.doneDurs), total) {
+			found = append(found, straggler{t: a.task, machine: a.machine})
 		}
 	}
-	// Deterministic launch order: the heap slice layout is deterministic,
-	// but sort by task name anyway so the order is obvious, not incidental.
+	// Deterministic launch order: the registry order is deterministic, but
+	// sort by task name anyway so the order is obvious, not incidental.
 	sort.Slice(found, func(i, j int) bool { return found[i].t.Name < found[j].t.Name })
 	for _, s := range found {
 		backup := r.backupMachine(s.t, s.machine)
 		if backup < 0 {
 			continue
 		}
-		sr.speculated[s.t] = true
+		sr.speculated[s.t.idx] = true
 		r.metrics.Speculations++
 		// The committed completion whose median triggered this check is the
 		// cause of the backup launch (sr.popSeq: the task-end just handled).
@@ -711,7 +704,7 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 				ts.src, ts.dst, ts.bytes, ts.attempt)
 			return
 		}
-		sr.push(&event{at: detect + r.retry.BackoffAt(ts.attempt), kind: evTransferRetry, transfer: ts, traceSeq: dropSeq})
+		sr.push(event{at: detect + r.retry.BackoffAt(ts.attempt), kind: evTransferRetry, transfer: ts, traceSeq: dropSeq})
 		return
 	}
 	factor := r.faults.LinkFactor(ts.src, ts.dst, start)
@@ -730,7 +723,7 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 		Incast:  inFree > now && inFree >= egFree,
 		Attempt: ts.attempt, Degraded: factor > 1,
 	})
-	sr.push(&event{at: start + dur, kind: evTransferDone, bytes: ts.bytes, traceSeq: seq})
+	sr.push(event{at: start + dur, kind: evTransferDone, bytes: ts.bytes, traceSeq: seq})
 }
 
 // onTransferRetry re-issues a dropped transfer once its backoff elapses.
@@ -771,30 +764,35 @@ func (sr *stageRun) onFailure(e *event) {
 	// Queued tasks are lost — unless another copy is committed or still
 	// running elsewhere (a queued speculative backup loses nothing).
 	for _, t := range sr.queues[m] {
-		if !sr.committed[t] && sr.copies[t] == 0 {
+		if !sr.committed[t.idx] && sr.copies[t.idx] == 0 {
 			lost = append(lost, t)
 		}
 	}
 	sr.queues[m] = nil
-	// Running tasks are lost: their completion events stay on the heap, but
-	// the completion handler sees the dead machine and ignores them. A task
-	// is only requeued when this death killed its last running copy and no
-	// copy has committed — a surviving speculative backup carries on.
+	// Running tasks are lost in attempt-start order: their completion
+	// events stay on the queue, but the completion handler sees the dead
+	// machine and ignores them. A task is only requeued when this death
+	// killed its last running copy and no copy has committed — a surviving
+	// speculative backup carries on.
 	if sr.running[m] > 0 {
-		for _, ev := range sr.events {
-			if ev.kind == evTaskDone && ev.machine == m {
-				sr.copies[ev.task]--
-				if !sr.committed[ev.task] && sr.copies[ev.task] == 0 {
-					lost = append(lost, ev.task)
-				}
+		kept := sr.attempts[:0]
+		for _, a := range sr.attempts {
+			if a.machine != m {
+				kept = append(kept, a)
+				continue
+			}
+			sr.copies[a.task.idx]--
+			if !sr.committed[a.task.idx] && sr.copies[a.task.idx] == 0 {
+				lost = append(lost, a.task)
 			}
 		}
+		sr.attempts = kept
 		sr.running[m] = 0
 	}
 	for _, t := range lost {
 		sr.emitTask(trace.KindTaskLost, t, m, e.at, 0, 0, failSeq)
 	}
-	sr.push(&event{
+	sr.push(event{
 		at:       e.at + r.cfg.HeartbeatInterval,
 		kind:     evRecovery,
 		lost:     lost,
@@ -811,7 +809,7 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 	sr.inflight--
 	sr.popSeq = e.traceSeq
 	for _, t := range e.lost {
-		if sr.committed[t] {
+		if sr.committed[t.idx] {
 			// A copy elsewhere committed between the failure and the
 			// manager noticing it; nothing to recover.
 			continue
@@ -828,26 +826,24 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 		retrySeq := sr.emitTask(trace.KindRetry, t, m, e.at, 0, 0, e.traceSeq)
 		if t.Kind == KindCombine && prev != nil {
 			// Re-transfer this task's inputs from their producers.
-			myIdx := sr.taskIndex(t)
-			if myIdx >= 0 {
-				prevStage := sr.job.Stages[sr.stageIdx-1]
-				for _, pt := range prevStage.Tasks {
-					for _, out := range pt.Outputs {
-						if out.DstTask != myIdx {
+			myIdx := t.idx
+			prevStage := sr.job.Stages[sr.stageIdx-1]
+			for pi, pt := range prevStage.Tasks {
+				for _, out := range pt.Outputs {
+					if out.DstTask != myIdx {
+						continue
+					}
+					src := prev.taskMachine[pi]
+					if src < 0 || r.dead[src] {
+						// Producer machine gone: fetch from the
+						// producing partition's replica.
+						if fm, err := r.failover(pt); err == nil {
+							src = fm
+						} else {
 							continue
 						}
-						src, ok := prev.taskMachine[pt]
-						if !ok || r.dead[src] {
-							// Producer machine gone: fetch from the
-							// producing partition's replica.
-							if fm, err := r.failover(pt); err == nil {
-								src = fm
-							} else {
-								continue
-							}
-						}
-						sr.sendBytes(src, m, out.Bytes, e.at, t.Part, t.Name, retrySeq)
 					}
+					sr.sendBytes(src, m, out.Bytes, e.at, t.Part, t.Name, retrySeq)
 				}
 			}
 		}
@@ -855,15 +851,6 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 		sr.dispatchCause = retrySeq
 		sr.startNext(m, e.at)
 	}
-}
-
-func (sr *stageRun) taskIndex(t *Task) int {
-	for i, x := range sr.job.Stages[sr.stageIdx].Tasks {
-		if x == t {
-			return i
-		}
-	}
-	return -1
 }
 
 // failover picks a live replica machine for a task's partition.

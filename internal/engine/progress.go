@@ -73,7 +73,7 @@ func (r *Runner) MachineUtilization() []float64 {
 // busyAccounting hooks called from the event loop.
 func (r *Runner) noteTaskDone(m cluster.MachineID, at, dur float64, total int) {
 	if r.busySeconds == nil {
-		r.busySeconds = make(map[cluster.MachineID]float64)
+		r.busySeconds = make([]float64, r.cfg.Topo.NumMachines())
 	}
 	r.busySeconds[m] += dur
 	r.progress = append(r.progress, ProgressSample{

@@ -86,6 +86,17 @@ func (g *Graph) EdgeOffset(v VertexID) int64 {
 	return g.offsets[v]
 }
 
+// Offsets exposes the CSR offset array (NumVertices+1 entries) as a shared,
+// read-only slice: the out-neighbors of v are Targets()[Offsets()[v]:
+// Offsets()[v+1]]. Hot loops that walk the whole edge array use the flat
+// pair directly, skipping the per-vertex Neighbors call. Callers must not
+// modify the returned slice.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Targets exposes the flat CSR edge array as a shared, read-only slice. See
+// Offsets. Callers must not modify the returned slice.
+func (g *Graph) Targets() []VertexID { return g.targets }
+
 // ForEachEdge calls fn for every directed edge (u, v) in vertex order.
 // It stops early if fn returns false.
 func (g *Graph) ForEachEdge(fn func(u, v VertexID) bool) {

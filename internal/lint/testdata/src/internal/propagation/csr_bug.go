@@ -1,0 +1,26 @@
+// Package propagation fixture: the CSR fast-path variant of the SL002 bug
+// class. The scatter loop walks flat CSR neighbor ranges — already sorted
+// by construction — but accumulates into a hash table and then ranges over
+// it to flush, so the emission order reaching downstream consumers follows
+// the runtime's randomized map iteration instead of the sorted ranges the
+// data came from.
+package propagation
+
+type vertexID uint32
+
+type csrBug struct {
+	offsets []int64
+	targets []vertexID
+}
+
+func (c *csrBug) flush(emit func(vertexID, int64)) {
+	counts := make(map[vertexID]int64)
+	for u := 0; u+1 < len(c.offsets); u++ {
+		for _, v := range c.targets[c.offsets[u]:c.offsets[u+1]] {
+			counts[v]++
+		}
+	}
+	for v, n := range counts {
+		emit(v, n)
+	}
+}

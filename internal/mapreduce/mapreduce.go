@@ -9,7 +9,7 @@ package mapreduce
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
@@ -87,6 +87,47 @@ type shuffled[K Key, V any] struct {
 	red int
 }
 
+// kv is one key/value pair of a grouping log.
+type kv[K Key, V any] struct {
+	key K
+	val V
+}
+
+// groupSorted sorts an index permutation of the log stably by key (ties
+// break on log position, which makes the unstable sort stable) and calls fn
+// once per distinct key, ascending, with that key's values in log order.
+// vals is a reusable gather buffer; fn must not retain it. This replaces
+// per-entry hash-map grouping on the shuffle's hot path: one index sort
+// groups the whole log without hashing, and without moving the (possibly
+// wide) values during sorting.
+func groupSorted[K Key, V any](log []kv[K, V], idx []int32, vals []V, fn func(k K, vals []V)) {
+	idx = idx[:0]
+	for j := range log {
+		idx = append(idx, int32(j))
+	}
+	slices.SortFunc(idx, func(a, b int32) int {
+		ka, kb := log[a].key, log[b].key
+		switch {
+		case ka < kb:
+			return -1
+		case kb < ka:
+			return 1
+		default:
+			return int(a - b)
+		}
+	})
+	for s := 0; s < len(idx); {
+		k := log[idx[s]].key
+		vals = vals[:0]
+		e := s
+		for ; e < len(idx) && log[idx[e]].key == k; e++ {
+			vals = append(vals, log[idx[e]].val)
+		}
+		s = e
+		fn(k, vals)
+	}
+}
+
 // Run executes the MapReduce job on the simulated cluster and returns the
 // reduce results keyed by K. The number of reduce tasks equals the number
 // of partitions; reducers are spread round-robin over machines, reflecting
@@ -117,18 +158,12 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 		if hasCombiner {
 			// Collect this map task's pairs, fold per key map-side,
 			// then account and shuffle only the folded pairs.
-			local := make(map[K][]V)
-			var keys []K
+			var pairs []kv[K, V]
 			prog.Map(pi, pg.G, func(k K, v V) {
-				if _, seen := local[k]; !seen {
-					keys = append(keys, k)
-				}
-				local[k] = append(local[k], v)
+				pairs = append(pairs, kv[K, V]{key: k, val: v})
 				pairsEmitted[i]++
 			})
-			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-			for _, k := range keys {
-				vals := local[k]
+			groupSorted(pairs, nil, nil, func(k K, vals []V) {
 				folded := vals[0]
 				if len(vals) > 1 {
 					folded = combiner.CombineValues(k, vals)
@@ -138,7 +173,7 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 				mapOutBytes[i] += b
 				shuffleBytes[i][red] += b
 				out = append(out, shuffled[K, V]{key: k, val: folded, red: red})
-			}
+			})
 		} else {
 			prog.Map(pi, pg.G, func(k K, v V) {
 				red := hashKey(k, reducers)
@@ -151,45 +186,51 @@ func Run[K Key, V any, R any](r *engine.Runner, pg *storage.PartitionedGraph, pl
 		}
 		perMap[i] = out
 	})
-	// Deterministic shuffle: deliver the logs into the reducer buckets in
-	// map-task index order — the serial delivery order.
-	buckets := make([]map[K][]V, reducers)
-	for i := range buckets {
-		buckets[i] = make(map[K][]V)
+	// Deterministic shuffle: concatenate the logs into per-reducer runs in
+	// map-task index order — the serial delivery order. Each reducer's run
+	// is then grouped by one index sort (stable, so a key's values keep the
+	// delivery order), replacing the per-entry hash-map inserts that
+	// dominated the shuffle at large pair counts.
+	redSizes := make([]int, reducers)
+	for i := range perMap {
+		for j := range perMap[i] {
+			redSizes[perMap[i][j].red]++
+		}
+	}
+	redLogs := make([][]kv[K, V], reducers)
+	for red := range redLogs {
+		redLogs[red] = make([]kv[K, V], 0, redSizes[red])
 	}
 	for i := range perMap {
 		for _, s := range perMap[i] {
-			buckets[s.red][s.key] = append(buckets[s.red][s.key], s.val)
+			redLogs[s.red] = append(redLogs[s.red], kv[K, V]{key: s.key, val: s.val})
 		}
 		perMap[i] = nil
 	}
 
 	// Semantic reduce phase: reducers own disjoint (hash-partitioned) key
-	// sets, so they fold in parallel into per-reducer result maps.
-	perRed := make([]map[K]R, reducers)
+	// sets, so they fold in parallel into per-reducer result logs.
+	type kr struct {
+		key K
+		res R
+	}
+	perRed := make([][]kr, reducers)
 	reduceValues := make([]int64, reducers)
 	reduceOutBytes := make([]int64, reducers)
 	pool.ForEach(reducers, func(red int) {
-		bucket := buckets[red]
-		keys := make([]K, 0, len(bucket))
-		for k := range bucket {
-			keys = append(keys, k)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		local := make(map[K]R, len(bucket))
-		for _, k := range keys {
-			vals := bucket[k]
+		local := make([]kr, 0, len(redLogs[red]))
+		groupSorted(redLogs[red], nil, nil, func(k K, vals []V) {
 			res := prog.Reduce(k, vals)
-			local[k] = res
+			local = append(local, kr{key: k, res: res})
 			reduceValues[red] += int64(len(vals))
 			reduceOutBytes[red] += prog.ResultBytes(res)
-		}
+		})
 		perRed[red] = local
 	})
 	results := make(map[K]R)
 	for _, local := range perRed {
-		for k, res := range local {
-			results[k] = res
+		for _, e := range local {
+			results[e.key] = e.res
 		}
 	}
 

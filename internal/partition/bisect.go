@@ -82,7 +82,7 @@ func gggp(w *wgraph, rng *rand.Rand) []uint8 {
 		// moving a high-gain frontier vertex into side 0 shrinks the cut.
 		gain := make([]int64, n)
 		for v := range gain {
-			for _, e := range w.adj[v] {
+			for _, e := range w.adjOf(v) {
 				gain[v] -= e.w
 			}
 		}
@@ -92,7 +92,7 @@ func gggp(w *wgraph, rng *rand.Rand) []uint8 {
 			inZero[v] = true
 			side[v] = 0
 			grown += w.vwgt[v]
-			for _, e := range w.adj[v] {
+			for _, e := range w.adjOf(v) {
 				gain[e.to] += 2 * e.w
 			}
 		}
@@ -108,7 +108,7 @@ func gggp(w *wgraph, rng *rand.Rand) []uint8 {
 					continue
 				}
 				onFrontier := false
-				for _, e := range w.adj[v] {
+				for _, e := range w.adjOf(v) {
 					if inZero[e.to] {
 						onFrontier = true
 						break
@@ -147,8 +147,8 @@ func gggp(w *wgraph, rng *rand.Rand) []uint8 {
 // edge appears twice in adj, so the sum is halved.
 func cutWeight(w *wgraph, side []uint8) int64 {
 	var s int64
-	for v := range w.adj {
-		for _, e := range w.adj[v] {
+	for v := 0; v < w.n(); v++ {
+		for _, e := range w.adjOf(v) {
 			if side[v] != side[e.to] {
 				s += e.w
 			}
@@ -173,7 +173,7 @@ func refine(w *wgraph, side []uint8) {
 	gain := func(v int) int64 {
 		// Cut reduction if v moves to the other side.
 		var g int64
-		for _, e := range w.adj[v] {
+		for _, e := range w.adjOf(v) {
 			if side[e.to] != side[v] {
 				g += e.w
 			} else {

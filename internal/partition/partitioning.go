@@ -81,14 +81,14 @@ func RecursiveBisect(g *graph.Graph, levels int, opt Options) (*Partitioning, *S
 	pt := &Partitioning{Assign: make([]PartID, n), P: 1 << levels}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	sk := newSketch(levels)
-	bisectRecursive(und, all, 0, levels, 0, pt, sk, rng)
+	bisectRecursive(und, all, 0, levels, 0, pt, sk, rng, newWScratch(n))
 	return pt, sk
 }
 
 // bisectRecursive splits subset into 2^(levels-depth) partitions, assigning
 // partition IDs so that the sketch leaf order matches partition order.
 // node is the sketch node index covering subset.
-func bisectRecursive(und *graph.Graph, subset []graph.VertexID, depth, levels int, firstPart PartID, pt *Partitioning, sk *Sketch, rng *rand.Rand) {
+func bisectRecursive(und *graph.Graph, subset []graph.VertexID, depth, levels int, firstPart PartID, pt *Partitioning, sk *Sketch, rng *rand.Rand, sc *wscratch) {
 	sk.setNode(depth, int(firstPart)>>(levels-depth), subset)
 	if depth == levels {
 		for _, v := range subset {
@@ -96,7 +96,7 @@ func bisectRecursive(und *graph.Graph, subset []graph.VertexID, depth, levels in
 		}
 		return
 	}
-	w, toGlobal := newWorkGraph(und, subset)
+	w, toGlobal := newWorkGraphScratch(und, subset, sc)
 	side := bisectWork(w, rng)
 	var left, right []graph.VertexID
 	for i, s := range side {
@@ -107,6 +107,6 @@ func bisectRecursive(und *graph.Graph, subset []graph.VertexID, depth, levels in
 		}
 	}
 	half := 1 << (levels - depth - 1)
-	bisectRecursive(und, left, depth+1, levels, firstPart, pt, sk, rng)
-	bisectRecursive(und, right, depth+1, levels, firstPart+PartID(half), pt, sk, rng)
+	bisectRecursive(und, left, depth+1, levels, firstPart, pt, sk, rng, sc)
+	bisectRecursive(und, right, depth+1, levels, firstPart+PartID(half), pt, sk, rng, sc)
 }

@@ -70,12 +70,12 @@ func BandwidthAware(g *graph.Graph, topo *cluster.Topology, levels int, opt Opti
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	mg := cluster.NewMachineGraph(topo)
-	baPart(und, g, all, mg, 0, levels, 0, res, rng)
+	baPart(und, g, all, mg, 0, levels, 0, res, rng, newWScratch(n))
 	return res
 }
 
 // baPart is the recursive BAPart(M, G, l) of Algorithm 4.
-func baPart(und, g *graph.Graph, subset []graph.VertexID, mg *cluster.MachineGraph, depth, levels int, firstPart PartID, res *Result, rng *rand.Rand) {
+func baPart(und, g *graph.Graph, subset []graph.VertexID, mg *cluster.MachineGraph, depth, levels int, firstPart PartID, res *Result, rng *rand.Rand, sc *wscratch) {
 	res.Sketch.setNode(depth, int(firstPart)>>(levels-depth), subset)
 	if depth == levels {
 		// Algorithm 4 line 7-9: undividable data partition; store it on
@@ -96,7 +96,7 @@ func baPart(und, g *graph.Graph, subset []graph.VertexID, mg *cluster.MachineGra
 			DataEdges: countSubsetEdges(g, subset),
 			Machines:  mg.Machines(), Local: true,
 		})
-		localBisect(und, g, subset, depth, levels, firstPart, m, res, rng)
+		localBisect(und, g, subset, depth, levels, firstPart, m, res, rng, sc)
 		return
 	}
 
@@ -107,7 +107,7 @@ func baPart(und, g *graph.Graph, subset []graph.VertexID, mg *cluster.MachineGra
 		DataEdges: countSubsetEdges(g, subset),
 		Machines:  mg.Machines(),
 	})
-	w, toGlobal := newWorkGraph(und, subset)
+	w, toGlobal := newWorkGraphScratch(und, subset, sc)
 	side := bisectWork(w, rng)
 	var left, right []graph.VertexID
 	for i, s := range side {
@@ -119,13 +119,13 @@ func baPart(und, g *graph.Graph, subset []graph.VertexID, mg *cluster.MachineGra
 	}
 	m1, m2 := mg.Bisect()
 	half := PartID(1 << (levels - depth - 1))
-	baPart(und, g, left, m1, depth+1, levels, firstPart, res, rng)
-	baPart(und, g, right, m2, depth+1, levels, firstPart+half, res, rng)
+	baPart(und, g, left, m1, depth+1, levels, firstPart, res, rng, sc)
+	baPart(und, g, right, m2, depth+1, levels, firstPart+half, res, rng, sc)
 }
 
 // localBisect finishes the recursion on a single machine: it keeps bisecting
 // the data graph (recording sketch nodes) and maps every leaf to machine m.
-func localBisect(und, g *graph.Graph, subset []graph.VertexID, depth, levels int, firstPart PartID, m cluster.MachineID, res *Result, rng *rand.Rand) {
+func localBisect(und, g *graph.Graph, subset []graph.VertexID, depth, levels int, firstPart PartID, m cluster.MachineID, res *Result, rng *rand.Rand, sc *wscratch) {
 	res.Sketch.setNode(depth, int(firstPart)>>(levels-depth), subset)
 	if depth == levels {
 		for _, v := range subset {
@@ -134,7 +134,7 @@ func localBisect(und, g *graph.Graph, subset []graph.VertexID, depth, levels int
 		res.Placement.MachineOf[firstPart] = m
 		return
 	}
-	w, toGlobal := newWorkGraph(und, subset)
+	w, toGlobal := newWorkGraphScratch(und, subset, sc)
 	side := bisectWork(w, rng)
 	var left, right []graph.VertexID
 	for i, s := range side {
@@ -145,8 +145,8 @@ func localBisect(und, g *graph.Graph, subset []graph.VertexID, depth, levels int
 		}
 	}
 	half := PartID(1 << (levels - depth - 1))
-	localBisect(und, g, left, depth+1, levels, firstPart, m, res, rng)
-	localBisect(und, g, right, depth+1, levels, firstPart+half, m, res, rng)
+	localBisect(und, g, left, depth+1, levels, firstPart, m, res, rng, sc)
+	localBisect(und, g, right, depth+1, levels, firstPart+half, m, res, rng, sc)
 }
 
 // ParMetisLike runs the same multilevel recursive bisection on the data

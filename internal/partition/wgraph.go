@@ -10,7 +10,7 @@ package partition
 
 import (
 	"math/rand"
-	"sort"
+	"slices"
 
 	"repro/internal/graph"
 )
@@ -21,16 +21,25 @@ type wedge struct {
 	w  int64
 }
 
-// wgraph is the mutable weighted graph the multilevel kernel coarsens.
-// Vertex weights count the original vertices collapsed into each coarse
-// vertex; edge weights count the original undirected edges collapsed into
-// each coarse edge. Both are what bisection must balance and minimize.
+// wgraph is the mutable weighted graph the multilevel kernel coarsens, in
+// compressed sparse row form: vertex v's adjacency is edges[xadj[v]:
+// xadj[v+1]]. Vertex weights count the original vertices collapsed into each
+// coarse vertex; edge weights count the original undirected edges collapsed
+// into each coarse edge. Both are what bisection must balance and minimize.
+// The flat layout replaces the per-vertex []wedge slices the kernel used to
+// coarsen: contraction now accumulates into stamp-indexed scratch arrays and
+// writes one slab, instead of clearing and refilling a hash map per coarse
+// vertex (which dominated partitioning time at 1M vertices).
 type wgraph struct {
-	vwgt []int64
-	adj  [][]wedge
+	vwgt  []int64
+	xadj  []int32
+	edges []wedge
 }
 
 func (w *wgraph) n() int { return len(w.vwgt) }
+
+// adjOf returns vertex v's adjacency as a shared, read-only slice.
+func (w *wgraph) adjOf(v int) []wedge { return w.edges[w.xadj[v]:w.xadj[v+1]] }
 
 // totalVertexWeight sums all vertex weights (invariant under coarsening).
 func (w *wgraph) totalVertexWeight() int64 {
@@ -41,29 +50,74 @@ func (w *wgraph) totalVertexWeight() int64 {
 	return s
 }
 
+// wscratch is the reusable workspace of one recursive-bisection run: the
+// global→local vertex index (full graph size, reset per subset, so building
+// a work graph never hashes) shared by every newWorkGraph call of the run.
+type wscratch struct {
+	local []int32
+}
+
+func newWScratch(n int) *wscratch {
+	l := make([]int32, n)
+	for i := range l {
+		l[i] = -1
+	}
+	return &wscratch{local: l}
+}
+
 // newWorkGraph builds the induced weighted subgraph of an undirected graph
 // over the given (global-ID) vertex subset. Each undirected edge gets
 // weight 1; each vertex is weighted by 1 + its degree, so bisection
 // balances partitions by *edge* count — the paper's constraint ("all
 // partitions with similar number of edges", §2), which also balances
 // per-partition bytes and work on skewed graphs. It also returns the
-// local→global map.
+// local→global map. Adjacency order matches the neighbor order of und, so
+// every downstream decision (matching, GGGP, refinement) is identical to
+// the pre-CSR per-vertex-slice layout.
 func newWorkGraph(und *graph.Graph, subset []graph.VertexID) (*wgraph, []graph.VertexID) {
-	local := make(map[graph.VertexID]int32, len(subset))
+	return newWorkGraphScratch(und, subset, nil)
+}
+
+// newWorkGraphScratch is newWorkGraph with a caller-owned scratch, so a
+// recursive run indexes global→local through one flat array instead of
+// building a hash map per subset. The scratch's local entries are restored
+// to -1 before returning.
+func newWorkGraphScratch(und *graph.Graph, subset []graph.VertexID, sc *wscratch) (*wgraph, []graph.VertexID) {
+	if sc == nil {
+		sc = newWScratch(und.NumVertices())
+	}
+	local := sc.local
 	for i, v := range subset {
 		local[v] = int32(i)
 	}
 	w := &wgraph{
 		vwgt: make([]int64, len(subset)),
-		adj:  make([][]wedge, len(subset)),
+		xadj: make([]int32, len(subset)+1),
 	}
+	// Pass 1: count induced degrees.
+	deg := int32(0)
 	for i, v := range subset {
 		w.vwgt[i] = 1 + int64(und.OutDegree(v))
 		for _, nb := range und.Neighbors(v) {
-			if j, ok := local[nb]; ok {
-				w.adj[i] = append(w.adj[i], wedge{to: j, w: 1})
+			if local[nb] >= 0 {
+				deg++
 			}
 		}
+		w.xadj[i+1] = deg
+	}
+	// Pass 2: fill the slab in neighbor order.
+	w.edges = make([]wedge, deg)
+	cur := int32(0)
+	for _, v := range subset {
+		for _, nb := range und.Neighbors(v) {
+			if j := local[nb]; j >= 0 {
+				w.edges[cur] = wedge{to: j, w: 1}
+				cur++
+			}
+		}
+	}
+	for _, v := range subset {
+		local[v] = -1
 	}
 	toGlobal := make([]graph.VertexID, len(subset))
 	copy(toGlobal, subset)
@@ -72,47 +126,117 @@ func newWorkGraph(und *graph.Graph, subset []graph.VertexID) (*wgraph, []graph.V
 
 // contract builds the coarse graph given a matching: match[v] is the coarse
 // vertex index of v. Parallel edges between the same coarse pair merge with
-// summed weight; edges internal to a coarse vertex disappear.
+// summed weight; edges internal to a coarse vertex disappear. Accumulation
+// uses a stamp array (slot[cn] holds cn's position in the current coarse
+// vertex's output range, cleared by walking back over that range) — no
+// per-coarse-vertex map to clear, no per-edge hashing.
 func (w *wgraph) contract(match []int32, coarseN int) *wgraph {
 	c := &wgraph{
 		vwgt: make([]int64, coarseN),
-		adj:  make([][]wedge, coarseN),
+		xadj: make([]int32, coarseN+1),
 	}
 	for v := range w.vwgt {
 		c.vwgt[match[v]] += w.vwgt[v]
 	}
-	// Merge adjacency using a scratch map keyed by coarse neighbor; reused
-	// across coarse vertices via the lastSeen trick to avoid reallocating.
-	acc := make(map[int32]int64)
-	// Group fine vertices by coarse vertex.
-	members := make([][]int32, coarseN)
-	for v := range w.adj {
-		cv := match[v]
-		members[cv] = append(members[cv], int32(v))
+	// Group fine vertices by coarse vertex (counting sort: stable in fine
+	// vertex order, like the append loop it replaces).
+	counts := make([]int32, coarseN+1)
+	for v := range w.vwgt {
+		counts[match[v]+1]++
 	}
+	for i := 1; i <= int(coarseN); i++ {
+		counts[i] += counts[i-1]
+	}
+	members := make([]int32, len(w.vwgt))
+	cursor := make([]int32, coarseN)
+	copy(cursor, counts[:coarseN])
+	for v := range w.vwgt {
+		cv := match[v]
+		members[cursor[cv]] = int32(v)
+		cursor[cv]++
+	}
+	// slot[cn] = index into the accumulation buffer where coarse neighbor cn
+	// accumulates for the coarse vertex being built, or -1.
+	slot := make([]int32, coarseN)
+	for i := range slot {
+		slot[i] = -1
+	}
+	// Accumulate each coarse vertex's neighbors as packed (to<<32 | w)
+	// words: sorting []uint64 with slices.Sort is several times faster than
+	// comparison-function sorting of 16-byte structs, and because neighbor
+	// IDs are unique within a range, ordering the packed words orders the
+	// range by neighbor. Weights are far below 2^32 at our scales (they
+	// count collapsed undirected edges); the overflow guard falls back to
+	// widening arithmetic should that ever change.
+	var packed []uint64
+	c.edges = make([]wedge, 0, len(w.edges))
 	for cv := int32(0); cv < int32(coarseN); cv++ {
-		clear(acc)
-		for _, v := range members[cv] {
-			for _, e := range w.adj[v] {
+		packed = packed[:0]
+		overflow := false
+		for _, v := range members[counts[cv]:counts[cv+1]] {
+			for _, e := range w.adjOf(int(v)) {
 				cn := match[e.to]
-				if cn != cv {
-					acc[cn] += e.w
+				if cn == cv {
+					continue
+				}
+				if s := slot[cn]; s >= 0 {
+					packed[s] += uint64(e.w)
+					if packed[s]>>32 != uint64(cn) {
+						overflow = true
+					}
+				} else {
+					slot[cn] = int32(len(packed))
+					packed = append(packed, uint64(cn)<<32|uint64(e.w))
+					if e.w >= 1<<32 {
+						overflow = true
+					}
 				}
 			}
 		}
-		if len(acc) == 0 {
-			continue
+		for _, pk := range packed {
+			slot[pk>>32] = -1
 		}
-		list := make([]wedge, 0, len(acc))
-		for to, wt := range acc {
-			list = append(list, wedge{to: to, w: wt})
+		if overflow {
+			// A weight crossed 2^32: redo this coarse vertex with full-width
+			// weights. Deterministic and vanishingly rare (requires 4G+
+			// collapsed edges between one coarse pair).
+			c.edges = contractWide(w, match, members[counts[cv]:counts[cv+1]], cv, slot, c.edges)
+		} else {
+			slices.Sort(packed)
+			for _, pk := range packed {
+				c.edges = append(c.edges, wedge{to: int32(pk >> 32), w: int64(pk & 0xFFFFFFFF)})
+			}
 		}
-		// Sort for determinism: map iteration order would otherwise leak
-		// into matching and refinement decisions.
-		sort.Slice(list, func(i, j int) bool { return list[i].to < list[j].to })
-		c.adj[cv] = list
+		c.xadj[cv+1] = int32(len(c.edges))
 	}
 	return c
+}
+
+// contractWide is contract's overflow fallback for one coarse vertex: the
+// same accumulation with 64-bit weights. slot must arrive all -1 and is
+// restored before returning.
+func contractWide(w *wgraph, match []int32, members []int32, cv int32, slot []int32, out []wedge) []wedge {
+	start := len(out)
+	for _, v := range members {
+		for _, e := range w.adjOf(int(v)) {
+			cn := match[e.to]
+			if cn == cv {
+				continue
+			}
+			if s := slot[cn]; s >= 0 {
+				out[s].w += e.w
+			} else {
+				slot[cn] = int32(len(out))
+				out = append(out, wedge{to: cn, w: e.w})
+			}
+		}
+	}
+	rng := out[start:]
+	slices.SortFunc(rng, func(a, b wedge) int { return int(a.to) - int(b.to) })
+	for _, e := range rng {
+		slot[e.to] = -1
+	}
+	return out
 }
 
 // heavyEdgeMatching computes a matching for coarsening: vertices are visited
@@ -134,7 +258,7 @@ func (w *wgraph) heavyEdgeMatching(rng *rand.Rand) ([]int32, int) {
 		}
 		var best int32 = -1
 		var bestW int64 = -1
-		for _, e := range w.adj[v] {
+		for _, e := range w.adjOf(int(v)) {
 			if match[e.to] < 0 && e.to != v && e.w > bestW {
 				bestW, best = e.w, e.to
 			}

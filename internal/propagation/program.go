@@ -38,6 +38,11 @@ type Emit[V any] func(dst graph.VertexID, val V)
 // value; prev is the vertex's value from the previous iteration. Combine is
 // called for every real vertex each iteration (with an empty bag when
 // nothing arrived) and for every virtual vertex that received values.
+//
+// The values slices passed to Combine and Merge are windows into pooled
+// buffers the executor reuses across iterations: implementations may read
+// them freely during the call (and keep the element values, which are
+// copies) but must not retain the slice itself.
 type Program[V any] interface {
 	// Init returns vertex v's value before the first iteration.
 	Init(v graph.VertexID) V

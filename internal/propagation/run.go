@@ -2,7 +2,7 @@ package propagation
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -16,6 +16,57 @@ type State[V any] struct {
 	Values []V
 	// Virtual holds values of virtual vertices that have received data.
 	Virtual map[graph.VertexID]V
+	// sc is the reusable iteration workspace, handed from each state to its
+	// successor so steady-state iterations allocate nothing per message. It
+	// is created lazily, so states built by hand (tests, checkpoint restore)
+	// work unchanged.
+	sc *scratch[V]
+}
+
+// scratch is the pooled working memory of the propagation fast path: the
+// per-partition emission logs and grouping buffers of the parallel Transfer
+// phase, plus the shared bag slab the serial merge delivers into. Buffers
+// keep their capacity across iterations; everything is re-sliced to zero
+// length before reuse, never reallocated while sizes are steady.
+type scratch[V any] struct {
+	parts []partScratch[V]
+	// bags[v] is real vertex v's received-value bag, a zero-copy window into
+	// slab sized by the pre-merge counting pass; counts is that pass's
+	// workspace (always all-zero between iterations).
+	bags   [][]V
+	counts []int32
+	slab   []V
+}
+
+// partScratch is one partition's private transfer-phase workspace. Only the
+// goroutine running that partition touches it.
+type partScratch[V any] struct {
+	// out is the partition's emission log.
+	out []emission[V]
+	// key/gval hold emissions pending local combination: gval in emission
+	// order, key packing (dst<<32 | index-into-gval) so one unstable sort of
+	// the uint64 keys groups by destination while preserving per-destination
+	// emission order (indices are unique). Partition-local emission counts
+	// stay far below 2^32 at the scales the 32-bit VertexID admits.
+	key  []uint64
+	gval []V
+	// vals is the reused buffer handed to Program.Merge; programs must not
+	// retain it (see Program.Merge).
+	vals []V
+	// raw/sorted cache the previous iteration's key sequence and its sorted
+	// order. For programs whose emission pattern is value-independent (one
+	// emission per edge — NR, TFL, ...), the sequence repeats every
+	// iteration, so grouping costs one O(m) comparison instead of a sort.
+	raw    []uint64
+	sorted []uint64
+}
+
+func newScratch[V any](n, p int) *scratch[V] {
+	return &scratch[V]{
+		parts:  make([]partScratch[V], p),
+		bags:   make([][]V, n),
+		counts: make([]int32, n),
+	}
 }
 
 // NewState initializes the state with Program.Init.
@@ -115,21 +166,23 @@ type execution[V any] struct {
 
 	n     int
 	assoc bool
-	// bags[v] is the list of values real vertex v received; virtualBags
-	// holds the same for virtual vertices.
+	// sc is the pooled workspace shared along the state chain; bags aliases
+	// sc.bags. virtualBags holds virtual-vertex bags (lazily allocated — the
+	// common VirtualVertices=0 case never touches it).
+	sc          *scratch[V]
 	bags        [][]V
 	virtualBags map[graph.VertexID][]V
 	// perPart[p] is partition p's ordered emission log from the parallel
-	// transfer phase, replayed by mergeEmissions.
+	// transfer phase (aliasing sc.parts[p].out), replayed by mergeEmissions.
 	perPart [][]emission[V]
 
 	// Per-partition accounting.
-	localBytes    []int64         // intermediates materialized inside the partition
-	remoteBytes   []map[int]int64 // [src][dst] network bytes
-	receivedBytes []int64         // sum of inbound remote bytes per partition
-	combineCount  []int64         // values folded in each partition's combine
-	stateRead     []int64         // prior state bytes read by transfer tasks
-	stateWrite    []int64         // next state bytes written by combine tasks
+	localBytes    []int64 // intermediates materialized inside the partition
+	remoteBytes   []int64 // flat P×P [src*P+dst] network bytes
+	receivedBytes []int64 // sum of inbound remote bytes per partition
+	combineCount  []int64 // values folded in each partition's combine
+	stateRead     []int64 // prior state bytes read by transfer tasks
+	stateWrite    []int64 // next state bytes written by combine tasks
 	// SkipStateIO suppresses state read/write accounting for chosen
 	// vertices (used by cascaded propagation, §5.2). Nil means none.
 	skipStateIO []bool
@@ -146,21 +199,22 @@ type execution[V any] struct {
 
 func newExecution[V any](pg *storage.PartitionedGraph, pl *partition.Placement, prog Program[V], st *State[V], opt Options) *execution[V] {
 	p := pg.Part.P
+	n := pg.G.NumVertices()
+	if st.sc == nil || len(st.sc.counts) != n || len(st.sc.parts) != p {
+		st.sc = newScratch[V](n, p)
+	}
 	ex := &execution[V]{
 		pg: pg, pl: pl, prog: prog, st: st, opt: opt,
-		n:             pg.G.NumVertices(),
+		n:             n,
 		assoc:         prog.Associative(),
-		bags:          make([][]V, pg.G.NumVertices()),
-		virtualBags:   make(map[graph.VertexID][]V),
+		sc:            st.sc,
+		bags:          st.sc.bags,
 		localBytes:    make([]int64, p),
-		remoteBytes:   make([]map[int]int64, p),
+		remoteBytes:   make([]int64, p*p),
 		receivedBytes: make([]int64, p),
 		combineCount:  make([]int64, p),
 		stateRead:     make([]int64, p),
 		stateWrite:    make([]int64, p),
-	}
-	for i := range ex.remoteBytes {
-		ex.remoteBytes[i] = make(map[int]int64)
 	}
 	return ex
 }
@@ -207,24 +261,25 @@ func (ex *execution[V]) transferAll() {
 }
 
 // transferPart runs one partition's Transfer calls and local combination.
-// It writes only partition-indexed slots (perPart[p], stateRead[p]), so
-// concurrent invocations for different partitions never share state.
+// It writes only partition-indexed slots (perPart[p], stateRead[p], its
+// partScratch), so concurrent invocations for different partitions never
+// share state.
 func (ex *execution[V]) transferPart(p int) {
 	pi := ex.pg.Parts[p]
-	useLocalComb := ex.assoc && ex.opt.LocalCombination
-	// Pending emissions grouped by destination for local combination:
+	ps := &ex.sc.parts[p]
+	ps.out = ps.out[:0]
+	// grouping: pending emissions are held back for local combination —
 	// remote-bound groups shrink the transfer, same-partition groups
-	// headed to non-fusable vertices shrink the materialized
-	// intermediates (one merged value per destination instead of one
-	// per edge).
-	var groups map[graph.VertexID][]V
-	if useLocalComb {
-		groups = make(map[graph.VertexID][]V)
+	// headed to non-fusable vertices shrink the materialized intermediates
+	// (one merged value per destination instead of one per edge).
+	grouping := ex.assoc && ex.opt.LocalCombination
+	if grouping {
+		ps.key = ps.key[:0]
+		ps.gval = ps.gval[:0]
 	}
 	vt, hasVT := any(ex.prog).(VertexTransferrer[V])
-	var out []emission[V]
 	emit := func(d graph.VertexID, v V) {
-		out = ex.record(pi, groups, out, d, v)
+		ex.record(pi, ps, grouping, d, v)
 	}
 	for _, u := range pi.Vertices {
 		ex.stateRead[p] += ex.prog.Bytes(ex.st.Values[u])
@@ -236,15 +291,15 @@ func (ex *execution[V]) transferPart(p int) {
 			ex.prog.Transfer(u, val, dst, emit)
 		}
 	}
-	if useLocalComb {
-		out = ex.flushGroups(p, groups, out)
+	if grouping {
+		ex.flushGroups(p, ps)
 	}
-	ex.perPart[p] = out
+	ex.perPart[p] = ps.out
 }
 
 // record classifies one emitted value into the partition's emission log (or
 // its local-combination group).
-func (ex *execution[V]) record(pi *storage.PartInfo, groups map[graph.VertexID][]V, out []emission[V], dst graph.VertexID, v V) []emission[V] {
+func (ex *execution[V]) record(pi *storage.PartInfo, ps *partScratch[V], grouping bool, dst graph.VertexID, v V) {
 	if int(dst) >= ex.n+ex.opt.VirtualVertices || int(dst) < 0 {
 		panic(fmt.Sprintf("propagation: emission to vertex %d outside real+virtual space", dst))
 	}
@@ -254,45 +309,71 @@ func (ex *execution[V]) record(pi *storage.PartInfo, groups map[graph.VertexID][
 		// entirely local (no cross in-edge) and local propagation is on;
 		// otherwise materialized to local disk for the Combine stage —
 		// after per-destination merging when local combination applies.
+		// Same-partition destinations are owned by this partition, so their
+		// bag-size counts can be bumped here, in the parallel phase, without
+		// racing other partitions (remote destinations are counted by the
+		// serial merge).
 		fusable := int(dst) < ex.n && !pi.HasCrossInEdge(dst)
 		if ex.opt.LocalPropagation && fusable {
-			return append(out, emission[V]{dst: dst, val: v, kind: emitFused})
+			ex.sc.counts[dst]++
+			ps.out = append(ps.out, emission[V]{dst: dst, val: v, kind: emitFused})
+			return
 		}
-		if groups != nil {
-			groups[dst] = append(groups[dst], v)
-			return out
+		if grouping {
+			ps.key = append(ps.key, uint64(dst)<<32|uint64(len(ps.gval)))
+			ps.gval = append(ps.gval, v)
+			return
 		}
-		return append(out, emission[V]{dst: dst, val: v, kind: emitLocal})
+		if int(dst) < ex.n {
+			ex.sc.counts[dst]++
+		}
+		ps.out = append(ps.out, emission[V]{dst: dst, val: v, kind: emitLocal})
+		return
 	}
-	if groups != nil {
-		groups[dst] = append(groups[dst], v)
-		return out
+	if grouping {
+		ps.key = append(ps.key, uint64(dst)<<32|uint64(len(ps.gval)))
+		ps.gval = append(ps.gval, v)
+		return
 	}
-	return append(out, emission[V]{dst: dst, val: v, kind: emitRemote, q: int(q)})
+	ps.out = append(ps.out, emission[V]{dst: dst, val: v, kind: emitRemote, q: int(q)})
 }
 
-// flushGroups merges grouped emissions (local combination) into the log in
-// sorted destination order.
-func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V, out []emission[V]) []emission[V] {
-	dsts := make([]graph.VertexID, 0, len(groups))
-	for d := range groups {
-		dsts = append(dsts, d)
+// flushGroups merges the held-back emissions (local combination) into the
+// log in sorted destination order. Sorting the packed keys groups the log by
+// destination (ascending) while keeping each destination's values in
+// emission order — exactly the grouping the map-based implementation
+// produced, without a hash map on the per-emission path.
+func (ex *execution[V]) flushGroups(p int, ps *partScratch[V]) {
+	keys := ps.key
+	if slices.Equal(ps.key, ps.raw) {
+		keys = ps.sorted
+	} else {
+		ps.raw = append(ps.raw[:0], ps.key...)
+		slices.Sort(ps.key)
+		ps.sorted = append(ps.sorted[:0], ps.key...)
 	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
-	for _, d := range dsts {
-		vals := groups[d]
-		merged := vals[0]
-		if len(vals) > 1 {
-			merged = ex.prog.Merge(d, vals)
+	for i := 0; i < len(keys); {
+		d := graph.VertexID(keys[i] >> 32)
+		ps.vals = ps.vals[:0]
+		j := i
+		for ; j < len(keys) && graph.VertexID(keys[j]>>32) == d; j++ {
+			ps.vals = append(ps.vals, ps.gval[uint32(keys[j])])
+		}
+		i = j
+		merged := ps.vals[0]
+		if len(ps.vals) > 1 {
+			merged = ex.prog.Merge(d, ps.vals)
 		}
 		q := ex.partOf(d)
 		if int(q) == p {
-			out = append(out, emission[V]{dst: d, val: merged, kind: emitLocal})
+			if int(d) < ex.n {
+				ex.sc.counts[d]++
+			}
+			ps.out = append(ps.out, emission[V]{dst: d, val: merged, kind: emitLocal})
 		} else {
-			out = append(out, emission[V]{dst: d, val: merged, kind: emitRemote, q: int(q)})
+			ps.out = append(ps.out, emission[V]{dst: d, val: merged, kind: emitRemote, q: int(q)})
 		}
 	}
-	return out
 }
 
 // mergeEmissions replays the per-partition logs in partition-index order,
@@ -300,7 +381,39 @@ func (ex *execution[V]) flushGroups(p int, groups map[graph.VertexID][]V, out []
 // serial step that pins down ordering: bags receive values in exactly the
 // sequence the serial executor produced, so order-sensitive combines and
 // float summations stay bit-identical for every worker count.
+//
+// Before replaying, a counting pass sizes every real vertex's bag as a
+// window into one shared slab, so delivery appends never allocate. The
+// counts are an upper bound (crossHook may claim remote values), which also
+// leaves room for the per-destination merged values tree aggregation appends
+// after the replay.
 func (ex *execution[V]) mergeEmissions() {
+	sc := ex.sc
+	// Same-partition deliveries were counted during the parallel phase;
+	// only the (post-combination, much smaller) remote logs remain.
+	for p := range ex.perPart {
+		for i := range ex.perPart[p] {
+			e := &ex.perPart[p][i]
+			if e.kind == emitRemote && int(e.dst) < ex.n {
+				sc.counts[e.dst]++
+			}
+		}
+	}
+	total := 0
+	for v := range sc.bags {
+		total += int(sc.counts[v])
+	}
+	if cap(sc.slab) < total {
+		sc.slab = make([]V, total)
+	}
+	slab := sc.slab[:cap(sc.slab)]
+	off := 0
+	for v := range sc.bags {
+		c := int(sc.counts[v])
+		sc.bags[v] = slab[off : off : off+c]
+		off += c
+		sc.counts[v] = 0
+	}
 	for p := range ex.perPart {
 		for _, e := range ex.perPart[p] {
 			switch e.kind {
@@ -313,11 +426,10 @@ func (ex *execution[V]) mergeEmissions() {
 				if ex.crossHook != nil && ex.crossHook(p, e.dst, e.val) {
 					continue
 				}
-				ex.remoteBytes[p][e.q] += ex.prog.Bytes(e.val)
+				ex.remoteBytes[p*ex.pg.Part.P+e.q] += ex.prog.Bytes(e.val)
 				ex.appendBag(e.dst, e.val)
 			}
 		}
-		ex.perPart[p] = nil
 	}
 }
 
@@ -325,6 +437,9 @@ func (ex *execution[V]) appendBag(dst graph.VertexID, v V) {
 	if int(dst) < ex.n {
 		ex.bags[dst] = append(ex.bags[dst], v)
 	} else {
+		if ex.virtualBags == nil {
+			ex.virtualBags = make(map[graph.VertexID][]V)
+		}
 		ex.virtualBags[dst] = append(ex.virtualBags[dst], v)
 	}
 }
@@ -335,6 +450,7 @@ func (ex *execution[V]) combineAll() *State[V] {
 	next := &State[V]{
 		Values:  make([]V, ex.n),
 		Virtual: make(map[graph.VertexID]V, len(ex.virtualBags)),
+		sc:      ex.sc,
 	}
 	// Real vertices combine in parallel: partitions own disjoint vertex
 	// sets and disjoint accounting slots, and the bags are read-only here.
@@ -359,7 +475,7 @@ func (ex *execution[V]) combineAll() *State[V] {
 	for d := range ex.virtualBags {
 		dsts = append(dsts, d)
 	}
-	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+	slices.Sort(dsts)
 	for _, d := range dsts {
 		q := int(ex.partOf(d))
 		var prev V
@@ -386,9 +502,9 @@ func (ex *execution[V]) buildJob() *engine.Job {
 	costs := ex.opt.costs()
 	transfer := make([]*engine.Task, p)
 	combine := make([]*engine.Task, p)
-	for _, by := range ex.remoteBytes {
-		for q, b := range by {
-			ex.receivedBytes[q] += b
+	for i := 0; i < p; i++ {
+		for q := 0; q < p; q++ {
+			ex.receivedBytes[q] += ex.remoteBytes[i*p+q]
 		}
 	}
 	for i := 0; i < p; i++ {
@@ -399,13 +515,8 @@ func (ex *execution[V]) buildJob() *engine.Job {
 			edges += int64(ex.pg.G.OutDegree(v))
 		}
 		var outs []engine.Output
-		qs := make([]int, 0, len(ex.remoteBytes[i]))
-		for q := range ex.remoteBytes[i] {
-			qs = append(qs, q)
-		}
-		sort.Ints(qs)
-		for _, q := range qs {
-			if b := ex.remoteBytes[i][q]; b > 0 {
+		for q := 0; q < p; q++ {
+			if b := ex.remoteBytes[i*p+q]; b > 0 {
 				outs = append(outs, engine.Output{DstTask: q, Bytes: b})
 			}
 		}

@@ -163,9 +163,9 @@ func (ex *execution[V]) buildTreeJob(topo *cluster.Topology, toAggBytes []map[ag
 	// Direct inbound bytes per partition (relay forwarding) and total
 	// combine-side arrivals.
 	directIn := make([]int64, p)
-	for _, by := range ex.remoteBytes {
-		for q, b := range by {
-			directIn[q] += b
+	for i := 0; i < p; i++ {
+		for q := 0; q < p; q++ {
+			directIn[q] += ex.remoteBytes[i*p+q]
 		}
 	}
 	received := make([]int64, p)
@@ -189,13 +189,8 @@ func (ex *execution[V]) buildTreeJob(topo *cluster.Topology, toAggBytes []map[ag
 			edges += int64(ex.pg.G.OutDegree(v))
 		}
 		var outs []engine.Output
-		qs := make([]int, 0, len(ex.remoteBytes[i]))
-		for q := range ex.remoteBytes[i] {
-			qs = append(qs, q)
-		}
-		sort.Ints(qs)
-		for _, q := range qs {
-			if b := ex.remoteBytes[i][q]; b > 0 {
+		for q := 0; q < p; q++ {
+			if b := ex.remoteBytes[i*p+q]; b > 0 {
 				outs = append(outs, engine.Output{DstTask: q, Bytes: b})
 			}
 		}

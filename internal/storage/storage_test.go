@@ -44,12 +44,15 @@ func TestBuildSmall(t *testing.T) {
 		t.Errorf("p1 stats = %d/%d/%d", p1.InnerEdges, p1.CrossOut, p1.CrossIn)
 	}
 	// Boundary: in p0 both 0 and 1 touch cross edges; p0 has no inner vertex.
-	if len(p0.Boundary) != 2 || p0.InnerVertices != 0 {
-		t.Errorf("p0 boundary = %d inner = %d", len(p0.Boundary), p0.InnerVertices)
+	if p0.BoundaryCount != 2 || p0.InnerVertices != 0 {
+		t.Errorf("p0 boundary = %d inner = %d", p0.BoundaryCount, p0.InnerVertices)
 	}
 	// CrossDst of p0 maps vertex 2 -> partition 1.
-	if pid, ok := p0.CrossDst[2]; !ok || pid != 1 {
-		t.Errorf("p0 CrossDst[2] = %d (%v)", pid, ok)
+	if pid, ok := p0.CrossDstPart(2); !ok || pid != 1 {
+		t.Errorf("p0 CrossDstPart(2) = %d (%v)", pid, ok)
+	}
+	if pid, ok := p0.CrossDstPart(0); ok {
+		t.Errorf("p0 CrossDstPart(0) = %d, want no entry", pid)
 	}
 	// OutPerPart: p0 -> p1 has 2 edges, 1 distinct destination (vertex 2).
 	st := p0.OutPerPart[1]
