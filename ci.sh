@@ -31,6 +31,11 @@ go build ./...
 # the race detector, before the full suite. TestNilScheduleHotPathAllocatesNothing
 # pins that the fault-free hot path stays allocation-free.
 go test -race -short -run 'Fault|Chaos' . ./internal/...
+# Elastic-membership gate: join/drain/migration determinism, the drain
+# deadline→failure degradation, the autoscale policy, drain-aware job
+# service rerouting and the elastic churn soak (short mode), all under
+# the race detector.
+go test -race -short -run 'Elastic|Drain|Join|Migrat|Autoscale|Dormant|Retire' ./internal/...
 # Scheduler gate, mirroring the fault gate: the multi-tenant job service's
 # policy goldens, scheduling invariants, cross-worker determinism battery
 # and committed fuzz corpus under the race detector (the planning pool
@@ -61,6 +66,27 @@ if go run ./cmd/surfer-analyze -compare "$smoke/bench.json" "$smoke/bench-bad.js
     echo "compare gate failed to catch a regression" >&2
     exit 1
 fi
+# Elastic membership smoke: a JSON fault file with a spot-instance join
+# (out-of-topology target — surfer-run must expand the cluster for it)
+# and a drain must run end to end, report the migration in the summary,
+# surface the migration blame category in the analyzer, and the
+# autoscaler must accept its own capture and emit a replayable plan.
+cat > "$smoke/elastic.json" <<'EOF'
+{
+  "joins":  [{"machine": 8, "at": 0.0005, "nics": 62.5e6}],
+  "drains": [{"machine": 3, "at": 0.001, "deadline": 1.0}]
+}
+EOF
+go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t1 \
+    -machines 8 -levels 3 -fail "$smoke/elastic.json" \
+    -events "$smoke/elastic.events" > "$smoke/elastic.txt"
+grep -q "elasticity:.*1 join(s), 1 drain(s)" "$smoke/elastic.txt"
+# "migration=" only appears in a per-stage blame row, i.e. when the
+# critical path actually spent seconds on the drain's eviction.
+go run ./cmd/surfer-analyze -trace "$smoke/elastic.events" | grep -q "migration="
+go run ./cmd/surfer-analyze -autoscale "$smoke/elastic.events" -json > "$smoke/plan.json"
+go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t1 \
+    -machines 8 -levels 3 -fail "$smoke/plan.json" > /dev/null
 # Multi-tenant scheduler smoke + regression gate: generate a workload,
 # replay it through the job service, attribute the stream (the scheduler's
 # queued-preempted category must appear in the blame table), then

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	surfer-analyze -trace run.events [-json]
+//	surfer-analyze -autoscale run.events [-json]
 //	surfer-analyze -diff a.events b.events [-json]
 //	surfer-analyze -compare old.json new.json [-threshold 5%]
 //
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +41,7 @@ func main() {
 		doDiff    = flag.Bool("diff", false, "diff two raw event streams given as positional args: A.events B.events")
 		doCompare = flag.Bool("compare", false, "gate a bench report against a baseline, positional args: old.json new.json")
 		threshold = flag.String("threshold", "5%", "regression threshold for -compare (percent; trailing % optional)")
+		autoscale = flag.String("autoscale", "", "raw event stream (with topology header) to run the utilization-driven autoscaling policy on; prints the recommended joins/drains and, with -json, a fault-schedule file ready for surfer-run -fail")
 		asJSON    = flag.Bool("json", false, "emit the report as JSON instead of text")
 	)
 	flag.Parse()
@@ -78,6 +81,8 @@ func main() {
 		} else {
 			must(analyze.WriteDiffText(os.Stdout, d))
 		}
+	case *autoscale != "":
+		runAutoscale(*autoscale, *asJSON)
 	case *traceIn != "":
 		r := analyzeFile(*traceIn)
 		if *asJSON {
@@ -86,7 +91,54 @@ func main() {
 			must(analyze.WriteText(os.Stdout, r))
 		}
 	default:
-		log.Fatal("nothing to do: want -trace f, -diff a b, or -compare old new")
+		log.Fatal("nothing to do: want -trace f, -autoscale f, -diff a b, or -compare old new")
+	}
+}
+
+// runAutoscale applies the default autoscaling policy to an event stream.
+// With -json it emits the plan's fault-schedule file (the format surfer-run
+// -fail consumes), so recommendation → replay is one pipe.
+func runAutoscale(path string, asJSON bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	s, err := trace.ReadEvents(f)
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if s.Topo == nil {
+		log.Fatalf("%s: no topology header (write the stream with surfer-run -events, not surfer-bench)", path)
+	}
+	topo := cluster.NewTopologyFromMatrix(s.Topo.Name, s.Topo.Bandwidth)
+	plan, err := analyze.Autoscale(s.Events, topo, analyze.AutoscalePolicy{})
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		must(enc.Encode(plan.File()))
+		return
+	}
+	fmt.Printf("autoscale: %d window(s), %d join(s), %d drain(s) recommended\n",
+		len(plan.Windows), len(plan.Joins), len(plan.Drains))
+	for _, w := range plan.Windows {
+		state := ""
+		if w.Saturated {
+			state = "  SATURATED"
+		} else if w.Idle {
+			state = "  idle"
+		}
+		fmt.Printf("  %-12s [%8.4f, %8.4f]  max level-0 util %5.1f%%%s\n",
+			w.Job, w.Start, w.End, 100*w.MaxLevel0Util, state)
+	}
+	for _, j := range plan.Joins {
+		fmt.Printf("  join machine %d at %.4f\n", j.Machine, j.At)
+	}
+	for _, d := range plan.Drains {
+		fmt.Printf("  drain machine %d at %.4f (deadline %.4f)\n", d.Machine, d.At, d.Deadline)
 	}
 }
 

@@ -57,12 +57,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Validate the whole file — not just the transient Schedule — so a
+		// kill of a machine outside the topology fails loudly here instead
+		// of silently running fault-free (Schedule() does not carry kills).
+		if err := ff.Validate(*machines); err != nil {
+			log.Fatal(err)
+		}
 		s.Faults = ff.Schedule()
 		for _, k := range ff.KillList() {
 			s.Failures = append(s.Failures, engine.Failure{Machine: k.Machine, At: k.At})
-		}
-		if err := s.Faults.Validate(*machines); err != nil {
-			log.Fatal(err)
 		}
 	}
 	dir := *appsDir

@@ -20,6 +20,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/storage"
@@ -42,15 +43,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
 		eventsOut = flag.String("events", "", "write the raw event stream (with topology header) to this file for surfer-analyze / surfer-trace -breakdown")
-		failSpec  = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3; failed partitions fail over to replicas")
+		failSpec  = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3, or a .json fault-schedule file (kills, link faults, slowdowns, joins, drains); failed partitions fail over to replicas")
 		heartbeat = flag.Float64("heartbeat", 0, "failure-detection latency in virtual seconds (0 = engine default, 1s)")
 	)
 	flag.Parse()
-
-	failures, err := parseFailures(*failSpec)
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	g, err := graph.Load(*graphPath)
 	if err != nil {
@@ -68,6 +64,29 @@ func main() {
 		log.Fatalf("unknown topology %q", *topoKind)
 	}
 
+	var failures []engine.Failure
+	var faults *fault.Schedule
+	if strings.HasSuffix(*failSpec, ".json") {
+		ff, err := fault.Load(*failSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Joins may provision machines past the base topology: expand it so
+		// the dormant machines exist in the bandwidth matrix before they join.
+		if mm := ff.MaxMachine(); mm >= topo.NumMachines() {
+			topo = topo.Expand(mm + 1 - topo.NumMachines())
+		}
+		if err := ff.Validate(topo.NumMachines()); err != nil {
+			log.Fatal(err)
+		}
+		for _, k := range ff.KillList() {
+			failures = append(failures, engine.Failure{Machine: k.Machine, At: k.At})
+		}
+		faults = ff.Schedule()
+	} else if failures, err = parseFailures(*failSpec); err != nil {
+		log.Fatal(err)
+	}
+
 	app := findApp(*appName)
 	if app == nil {
 		log.Fatalf("unknown app %q (want vdd, rs, nr, rlg, tc or tfl)", *appName)
@@ -83,9 +102,9 @@ func main() {
 		rec = trace.NewRecorder()
 	}
 	s := bench.Scale{
-		Vertices: g.NumVertices(), Levels: *levels, Machines: *machines,
+		Vertices: g.NumVertices(), Levels: *levels, Machines: topo.NumMachines(),
 		Seed: *seed, Workers: *workers, Trace: rec,
-		Failures: failures, Heartbeat: *heartbeat,
+		Failures: failures, Heartbeat: *heartbeat, Faults: faults,
 	}
 	placeBA := partition.SketchPlacement(sk, topo)
 	d := &bench.Deployment{
@@ -109,6 +128,7 @@ func main() {
 		}
 		fmt.Printf("primitive: propagation (%v)\n", lvl)
 		printMetrics(m.ResponseSeconds, m.MachineSeconds, m.NetworkBytes, m.DiskBytes)
+		printElastic(m)
 	case "mapreduce":
 		m, err := d.RunAppMR(app)
 		if err != nil {
@@ -116,6 +136,7 @@ func main() {
 		}
 		fmt.Println("primitive: mapreduce")
 		printMetrics(m.ResponseSeconds, m.MachineSeconds, m.NetworkBytes, m.DiskBytes)
+		printElastic(m)
 	default:
 		log.Fatalf("unknown primitive %q", *primitive)
 	}
@@ -220,4 +241,14 @@ func printMetrics(resp, machine float64, net, disk int64) {
 	fmt.Printf("total machine time: %.4f s\n", machine)
 	fmt.Printf("network I/O:        %.2f MB\n", float64(net)/1e6)
 	fmt.Printf("disk I/O:           %.2f MB\n", float64(disk)/1e6)
+}
+
+// printElastic reports membership changes and live migrations, only when the
+// run actually had any (the common fault-free run stays four lines).
+func printElastic(m engine.Metrics) {
+	if m.Joins == 0 && m.Drains == 0 && m.Migrations == 0 {
+		return
+	}
+	fmt.Printf("elasticity:         %d join(s), %d drain(s), %d migration(s) (%.2f MB)\n",
+		m.Joins, m.Drains, m.Migrations, float64(m.MigrationBytes)/1e6)
 }

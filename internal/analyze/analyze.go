@@ -38,10 +38,13 @@ const (
 	// spent waiting in the submission queue before admission, or suspended
 	// between a preemption and its resume.
 	CatQueued = "queued-preempted"
+	// CatMigration is elasticity cost on the path: live partition-migration
+	// wire time and queueing, and waits bound by drain/join events.
+	CatMigration = "migration"
 )
 
 // Categories lists every blame category in report order.
-var Categories = []string{CatCompute, CatNIC, CatIncast, CatRetry, CatBarrier, CatCheckpoint, CatQueued}
+var Categories = []string{CatCompute, CatNIC, CatIncast, CatRetry, CatBarrier, CatCheckpoint, CatQueued, CatMigration}
 
 // PathStep is one event on the critical path, with the seconds the walk
 // attributed while consuming it (its own span pieces plus the gap to its
@@ -260,6 +263,13 @@ func spanPieces(ev *trace.Event, inCkptJob bool) []piece {
 			{lo: ev.Start, hi: ev.End, cat: CatRetry},
 			{lo: ev.Time, hi: ev.Start, cat: reclass(CatNIC)},
 		}
+	case trace.KindPartitionMigrate:
+		// A live migration's wire time and its NIC queueing are both
+		// elasticity cost — the drain, not the application, moved the bytes.
+		return []piece{
+			{lo: ev.Start, hi: ev.End, cat: CatMigration},
+			{lo: ev.Time, hi: ev.Start, cat: CatMigration},
+		}
 	default:
 		return nil
 	}
@@ -274,10 +284,18 @@ func gapCategory(parent, child *trace.Event, ckpt map[string]bool) string {
 	if parent.Kind == trace.KindFailure || parent.Kind == trace.KindTransferDrop {
 		return CatRetry
 	}
+	if parent.Kind == trace.KindMachineDrain || parent.Kind == trace.KindMachineJoin ||
+		parent.Kind == trace.KindPartitionMigrate {
+		return CatMigration
+	}
 	if child != nil {
 		switch child.Kind {
 		case trace.KindFailure, trace.KindRetry, trace.KindTransferRetry:
 			return CatRetry
+		case trace.KindMachineJoin, trace.KindMachineDrain, trace.KindPartitionMigrate:
+			// The wait ended with an elastic membership event: the path was
+			// held by the drain/join machinery, not application work.
+			return CatMigration
 		case trace.KindJobQueued, trace.KindJobAdmitted, trace.KindJobPreempted,
 			trace.KindJobResumed, trace.KindJobRejected:
 			// The wait ended with a scheduler decision: the job was queued

@@ -1,0 +1,231 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/trace"
+)
+
+// Utilization-driven autoscaling (ROADMAP: elasticity; "Elastic Resource
+// Allocation for Distributed Graph Processing Platforms" argues scaling
+// decisions should follow per-superstep load). The policy reads the same
+// signal the link report computes — per-directed-link utilization at
+// bisection level 0, the top-level cut that is the scarcest bandwidth in the
+// hierarchy — per job window (one window per engine job, i.e. per iteration
+// for propagation runs): when any level-0 link stays saturated for K
+// consecutive windows the cluster should grow, and when the whole level
+// stays idle for K windows it should shrink.
+//
+// Autoscale is a pure function of (events, topology, policy), so its plan
+// inherits the determinism contract and can be fed straight back into a
+// re-run as a fault.File with joins and drains.
+
+// AutoscalePolicy parameterizes the recommendation rule. The zero value
+// selects the defaults.
+type AutoscalePolicy struct {
+	// SaturateUtil is the level-0 per-link utilization (busy seconds ÷
+	// window length, on the hottest directed link) at or above which a
+	// window counts as saturated. Default 0.8.
+	SaturateUtil float64
+	// IdleUtil is the utilization at or below which a window counts as
+	// idle. Default 0.05.
+	IdleUtil float64
+	// K is how many consecutive saturated (idle) windows trigger a join
+	// (drain). Default 2.
+	K int
+	// DrainSlack is the migration deadline a recommended drain gets, in
+	// virtual seconds after its At. Default 2× the triggering window's
+	// length (never below 1s), so a healthy cluster migrates out in time.
+	DrainSlack float64
+}
+
+// WithDefaults fills unset fields with the default policy.
+func (p AutoscalePolicy) WithDefaults() AutoscalePolicy {
+	if p.SaturateUtil <= 0 {
+		p.SaturateUtil = 0.8
+	}
+	if p.IdleUtil <= 0 {
+		p.IdleUtil = 0.05
+	}
+	if p.K <= 0 {
+		p.K = 2
+	}
+	return p
+}
+
+// WindowUtil is the per-window diagnostic behind a recommendation: one row
+// per engine job in stream order.
+type WindowUtil struct {
+	Job   string  `json:"job"`
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	// MaxLevel0Util is the hottest level-0 directed link's busy fraction
+	// of this window.
+	MaxLevel0Util float64 `json:"max_level0_util"`
+	// Saturated / Idle report how the policy classified the window.
+	Saturated bool `json:"saturated,omitempty"`
+	Idle      bool `json:"idle,omitempty"`
+}
+
+// AutoscalePlan is the policy's output: elastic events ready to replay.
+type AutoscalePlan struct {
+	Windows []WindowUtil         `json:"windows"`
+	Joins   []fault.MachineJoin  `json:"joins,omitempty"`
+	Drains  []fault.MachineDrain `json:"drains,omitempty"`
+}
+
+// File converts the plan into the on-disk fault-schedule format, so a
+// recommended scaling action replays with `surfer-run -fail plan.json`.
+func (pl *AutoscalePlan) File() *fault.File {
+	f := &fault.File{}
+	for _, j := range pl.Joins {
+		f.Joins = append(f.Joins, fault.FileJoin{Machine: int(j.Machine), At: j.At, NICs: j.NICs})
+	}
+	for _, d := range pl.Drains {
+		f.Drains = append(f.Drains, fault.FileDrain{Machine: int(d.Machine), At: d.At, Deadline: d.Deadline})
+	}
+	return f
+}
+
+// Autoscale applies the policy to a trace: per job window it measures the
+// hottest level-0 directed link's utilization, then recommends one join per
+// saturation streak (the next provisioned machine ID past the topology) and
+// one drain per idle streak (the least-loaded machine by task busy seconds,
+// never machine 0, never a machine already recommended for drain).
+func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePolicy) (*AutoscalePlan, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("analyze: autoscale needs the trace's topology header")
+	}
+	p := policy.WithDefaults()
+	if err := validate(events); err != nil {
+		return nil, err
+	}
+	n := topo.NumMachines()
+	lvl := bisectionLevels(topo)
+
+	// Job windows in stream order: begin Seq → [start, end].
+	type window struct {
+		job        string
+		start, end float64
+		busy       map[[2]int]float64
+	}
+	var wins []*window
+	open := make(map[string]*window) // job name → its open window
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.KindJobBegin:
+			w := &window{job: ev.Job, start: ev.Time, busy: make(map[[2]int]float64)}
+			wins = append(wins, w)
+			open[ev.Job] = w
+		case trace.KindJobEnd:
+			if w := open[ev.Job]; w != nil {
+				w.end = ev.Time
+				delete(open, ev.Job)
+			}
+		case trace.KindTransfer, trace.KindPartitionMigrate:
+			if ev.Machine < 0 || ev.Dst < 0 || ev.Machine >= n || ev.Dst >= n {
+				continue
+			}
+			if lvl[ev.Machine][ev.Dst] != 0 {
+				continue
+			}
+			if w := open[ev.Job]; w != nil {
+				w.busy[[2]int{ev.Machine, ev.Dst}] += ev.End - ev.Start
+			}
+		}
+	}
+
+	// Least-loaded machine over the whole stream, for drain targeting.
+	compute := machineCompute(events)
+
+	plan := &AutoscalePlan{}
+	sat, idle := 0, 0
+	nextJoin := cluster.MachineID(n)
+	drained := make(map[cluster.MachineID]bool)
+	for _, w := range wins {
+		if w.end <= w.start {
+			continue // unfinished or instantaneous window: no signal
+		}
+		span := w.end - w.start
+		maxUtil := 0.0
+		for _, busy := range w.busy {
+			if u := busy / span; u > maxUtil {
+				maxUtil = u
+			}
+		}
+		wu := WindowUtil{Job: w.job, Start: w.start, End: w.end, MaxLevel0Util: maxUtil}
+		if maxUtil >= p.SaturateUtil {
+			wu.Saturated = true
+			sat++
+			idle = 0
+		} else if maxUtil <= p.IdleUtil {
+			wu.Idle = true
+			idle++
+			sat = 0
+		} else {
+			sat, idle = 0, 0
+		}
+		plan.Windows = append(plan.Windows, wu)
+		if sat >= p.K {
+			// The bisection stayed saturated for K windows: grow. The join
+			// target is the next machine past the current topology — the
+			// caller expands the topology before replaying.
+			plan.Joins = append(plan.Joins, fault.MachineJoin{At: w.end, Machine: nextJoin})
+			nextJoin++
+			sat = 0
+		}
+		if idle >= p.K {
+			// The bisection stayed idle for K windows: shrink by draining
+			// the least-loaded machine (ties to the lowest ID; machine 0 is
+			// never drained so a live machine always remains).
+			m := leastLoaded(compute, n, drained)
+			if m > 0 {
+				drained[m] = true
+				slack := p.DrainSlack
+				if slack <= 0 {
+					slack = 2 * span
+					if slack < 1 {
+						slack = 1
+					}
+				}
+				plan.Drains = append(plan.Drains, fault.MachineDrain{
+					At: w.end, Machine: m, Deadline: w.end + slack,
+				})
+			}
+			idle = 0
+		}
+	}
+	sort.Slice(plan.Drains, func(i, j int) bool {
+		if plan.Drains[i].At != plan.Drains[j].At {
+			return plan.Drains[i].At < plan.Drains[j].At
+		}
+		return plan.Drains[i].Machine < plan.Drains[j].Machine
+	})
+	return plan, nil
+}
+
+// leastLoaded returns the machine with the smallest task busy time (ties to
+// the lowest ID), skipping machine 0 and already-drained machines; 0 when
+// no candidate remains.
+func leastLoaded(compute []float64, n int, drained map[cluster.MachineID]bool) cluster.MachineID {
+	best := cluster.MachineID(0)
+	bestV := 0.0
+	for i := 1; i < n; i++ {
+		m := cluster.MachineID(i)
+		if drained[m] {
+			continue
+		}
+		v := 0.0
+		if i < len(compute) {
+			v = compute[i]
+		}
+		if best == 0 || v < bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}

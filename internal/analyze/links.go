@@ -100,7 +100,9 @@ func linkReport(events []trace.Event, topo *cluster.Topology, start, end float64
 	}
 	for i := range events {
 		ev := &events[i]
-		if ev.Kind != trace.KindTransfer {
+		// Migration traffic occupies the same NICs as application traffic,
+		// so it counts toward link utilization too.
+		if ev.Kind != trace.KindTransfer && ev.Kind != trace.KindPartitionMigrate {
 			continue
 		}
 		if ev.Machine < 0 || ev.Dst < 0 || ev.Machine >= n || ev.Dst >= n {

@@ -185,6 +185,7 @@ func (d *Deployment) Runner() *engine.Runner {
 		Faults:            d.Scale.Faults,
 		Retry:             d.Scale.Retry,
 		Speculation:       d.Scale.Speculation,
+		PartBytes:         d.PG.PartBytes(),
 	})
 }
 

@@ -216,6 +216,58 @@ func NewT3(n int, seed int64) *Topology {
 	return t
 }
 
+// Expand returns a copy of the topology provisioned with extra additional
+// machines, for elastic joins: the new machines form one new pod, connect to
+// each other at the full link rate, and reach every existing machine at the
+// existing topology's minimum inter-machine bandwidth (a conservative model
+// of fresh capacity landing behind the aggregation layer). The receiver is
+// unchanged. Machines that join mid-run start dormant in the engine; Expand
+// only provisions the bandwidth matrix they will use once live.
+func (t *Topology) Expand(extra int) *Topology {
+	if extra <= 0 {
+		return t
+	}
+	n := t.n + extra
+	// Cross bandwidth: the worst pairwise rate already in the topology, or
+	// the full link rate for a single-machine base.
+	cross := LinkBandwidth
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if i != j && t.bw[i][j] < cross {
+				cross = t.bw[i][j]
+			}
+		}
+	}
+	out := &Topology{
+		name:   fmt.Sprintf("%s+%d", t.name, extra),
+		n:      n,
+		pod:    make([]int, n),
+		diskBW: t.diskBW,
+	}
+	copy(out.pod, t.pod)
+	newPod := t.NumPods()
+	for i := t.n; i < n; i++ {
+		out.pod[i] = newPod
+	}
+	out.bw = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out.bw[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case i == j:
+				out.bw[i][j] = LoopbackBandwidth
+			case i < t.n && j < t.n:
+				out.bw[i][j] = t.bw[i][j]
+			case i >= t.n && j >= t.n:
+				out.bw[i][j] = LinkBandwidth
+			default:
+				out.bw[i][j] = cross
+			}
+		}
+	}
+	return out
+}
+
 // uniformMatrix builds an n x n bandwidth matrix with value v off-diagonal
 // and loopback on the diagonal.
 func uniformMatrix(n int, v float64) [][]float64 {

@@ -291,3 +291,43 @@ func TestMachineGraphSize(t *testing.T) {
 		t.Fatal("weight wrong")
 	}
 }
+
+func TestExpandAddsDormantCapacity(t *testing.T) {
+	base := NewT2(T2Config{Machines: 8, Pods: 2, Levels: 1, TopFactor: 4})
+	got := base.Expand(3)
+	if got.NumMachines() != 11 {
+		t.Fatalf("machines = %d, want 11", got.NumMachines())
+	}
+	// The base topology is untouched — Expand returns a new value.
+	if base.NumMachines() != 8 {
+		t.Fatalf("Expand mutated its receiver to %d machines", base.NumMachines())
+	}
+	// Existing links keep their bandwidth exactly.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if got.Bandwidth(MachineID(i), MachineID(j)) != base.Bandwidth(MachineID(i), MachineID(j)) {
+				t.Fatalf("link %d→%d changed", i, j)
+			}
+		}
+	}
+	// New machines share one new pod at full intra-pod rate...
+	if !got.SamePod(8, 10) || got.SamePod(0, 8) {
+		t.Fatal("expanded machines should share a new pod of their own")
+	}
+	if got.Bandwidth(8, 9) != LinkBandwidth {
+		t.Fatalf("intra-new bandwidth = %g, want %g", got.Bandwidth(8, 9), float64(LinkBandwidth))
+	}
+	// ...and reach the base at the worst rate already present (the
+	// oversubscribed top-level cut), never better.
+	cross := got.Bandwidth(0, 8)
+	if cross != base.Bandwidth(0, 7) {
+		t.Fatalf("cross bandwidth = %g, want the base's worst %g", cross, base.Bandwidth(0, 7))
+	}
+	if got.NumPods() != base.NumPods()+1 {
+		t.Fatalf("pods = %d, want %d", got.NumPods(), base.NumPods()+1)
+	}
+	// No-op expansion returns the receiver unchanged.
+	if base.Expand(0) != base {
+		t.Fatal("Expand(0) should return the same topology")
+	}
+}

@@ -1,0 +1,217 @@
+package engine
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/trace"
+)
+
+// Elastic cluster membership (fault.MachineJoin / fault.MachineDrain),
+// handled entirely inside the serial event loop so the determinism contract
+// survives: joins wake dormant machines, drains trigger live partition
+// migration as ordinary NIC-charged transfers, and a drain whose deadline
+// expires before the last byte lands degrades into the existing machine-
+// death/failover path.
+//
+// Migration state lives in the runner's home overlay, never in the shared
+// storage.Replicas: deployments reuse one Replicas across runners at
+// different worker counts, and mutating it from one run would leak into the
+// next.
+
+// drainState tracks one active drain: the trace Seq of its machine-drain
+// event (the cause of the deadline death, should it come to that) and the
+// number of partition migrations still in flight.
+type drainState struct {
+	seq         int
+	outstanding int
+}
+
+// unavailable reports whether machine m can accept work and data right now:
+// dead, still-dormant, draining and retired machines cannot. It is the
+// exclusion predicate for placement, failover, speculation and migration
+// targeting.
+func (r *Runner) unavailable(m cluster.MachineID) bool {
+	return r.dead[m] || r.dormant[m] || r.draining[m] || r.retired[m]
+}
+
+// Draining reports whether machine m is currently mid-drain.
+func (r *Runner) Draining(m cluster.MachineID) bool { return r.draining[m] }
+
+// Retired reports whether machine m completed a graceful drain.
+func (r *Runner) Retired(m cluster.MachineID) bool { return r.retired[m] }
+
+// Dormant reports whether machine m is provisioned but not yet joined.
+func (r *Runner) Dormant(m cluster.MachineID) bool { return r.dormant[m] }
+
+// homeOf reports the current machine of partition p: the migration overlay
+// when the partition has moved, else the replica primary.
+func (r *Runner) homeOf(p partition.PartID) cluster.MachineID {
+	if h, ok := r.home[p]; ok {
+		return h
+	}
+	return r.cfg.Replicas.Primary(p)
+}
+
+// partBytes is the migration volume of partition p (0 when PartBytes is
+// not configured: the rehome is then instantaneous).
+func (r *Runner) partBytes(p partition.PartID) int64 {
+	if int(p) >= 0 && int(p) < len(r.cfg.PartBytes) {
+		return r.cfg.PartBytes[p]
+	}
+	return 0
+}
+
+// place resolves where a task runs: a migrated partition follows its new
+// home, an available pinned machine keeps the task, anything else fails
+// over to an available replica. With no elastic events this reduces exactly
+// to the historical dead-primary failover.
+func (r *Runner) place(t *Task) (cluster.MachineID, error) {
+	if t.Part != NoPart && r.cfg.Replicas != nil {
+		if h, ok := r.home[t.Part]; ok && !r.unavailable(h) {
+			return h, nil
+		}
+	}
+	if !r.unavailable(t.Machine) {
+		return t.Machine, nil
+	}
+	return r.failover(t)
+}
+
+// onJoin brings a dormant machine live: from this instant it accepts
+// failovers, speculation backups and migrated partitions, and its NICs
+// (capped at its configured line rate) carry traffic.
+func (sr *stageRun) onJoin(e *event) {
+	r := sr.r
+	m := e.failMachine
+	if !r.dormant[m] {
+		sr.popSeq = trace.None
+		return
+	}
+	delete(r.dormant, m)
+	r.metrics.Joins++
+	// A join is exogenous, like a failure: anchor it to the enclosing stage.
+	sr.popSeq = r.tr.Emit(trace.Event{Kind: trace.KindMachineJoin, Job: sr.job.Name, Stage: sr.stageName(),
+		Cause: sr.stageBeginSeq, Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
+}
+
+// onDrain starts a graceful decommission: the machine stops accepting new
+// work (it is unavailable from here on; tasks already queued on it finish),
+// every partition homed on it starts migrating to a survivor, and the
+// deadline is armed. A machine with nothing to migrate retires on the spot.
+func (sr *stageRun) onDrain(e *event) {
+	r := sr.r
+	m := e.failMachine
+	if r.dead[m] || r.draining[m] || r.retired[m] || r.dormant[m] {
+		sr.popSeq = trace.None
+		return
+	}
+	r.draining[m] = true
+	r.metrics.Drains++
+	drainSeq := r.tr.Emit(trace.Event{Kind: trace.KindMachineDrain, Job: sr.job.Name, Stage: sr.stageName(),
+		Cause: sr.stageBeginSeq, Machine: int(m), Dst: trace.None, Part: trace.None,
+		Time: e.at, End: e.deadline})
+	sr.popSeq = drainSeq
+	outstanding := sr.startMigrations(m, e.at, drainSeq)
+	if outstanding == 0 {
+		sr.retire(m)
+		return
+	}
+	r.drainState[m] = &drainState{seq: drainSeq, outstanding: outstanding}
+	// The deadline event does not hold the stage barrier: if every
+	// migration lands first the machine retires and the deadline is moot
+	// (a stale pop is ignored; an unpopped event is recycled at stage end).
+	sr.push(event{at: e.deadline, kind: evDrainDeadline, failMachine: m})
+}
+
+// startMigrations issues one live migration per partition homed on the
+// draining machine, in PartID order for determinism, and returns how many
+// are in flight. Migrations ride the ordinary transfer machinery — NIC
+// serialization, link degradation, drops and retries all apply — and each
+// holds the stage barrier via inflight until it lands. Zero-byte partitions
+// (no PartBytes configured) rehome instantly but still leave a trace event.
+func (sr *stageRun) startMigrations(m cluster.MachineID, at float64, drainSeq int) int {
+	r := sr.r
+	if r.cfg.Replicas == nil {
+		return 0
+	}
+	outstanding := 0
+	for p := range r.cfg.Replicas.Machines {
+		pid := partition.PartID(p)
+		if r.homeOf(pid) != m {
+			continue
+		}
+		dst, err := r.cfg.Replicas.MigrationTarget(pid, r.cfg.Topo.NumMachines(),
+			func(mm cluster.MachineID) bool { return !r.unavailable(mm) })
+		if err != nil {
+			// Nowhere to migrate right now: leave the partition in place.
+			// If nothing frees up, the deadline fires and the death path
+			// recovers through replicas as usual.
+			continue
+		}
+		bytes := r.partBytes(pid)
+		if bytes <= 0 {
+			r.home[pid] = dst
+			r.metrics.Migrations++
+			r.tr.Emit(trace.Event{Kind: trace.KindPartitionMigrate, Job: sr.job.Name, Stage: sr.stageName(),
+				Cause: drainSeq, Machine: int(m), Dst: int(dst), Part: int(pid),
+				Time: at, Start: at, End: at})
+			continue
+		}
+		sr.inflight++
+		outstanding++
+		sr.dispatch(&pendingTransfer{src: m, dst: dst, bytes: bytes, part: pid,
+			cause: drainSeq, migrate: true}, at)
+	}
+	return outstanding
+}
+
+// onMigrateDone commits one landed partition migration: the partition is
+// rehomed to its destination and the machine retires once its last
+// migration lands. An arrival after the source died at its drain deadline
+// is stale — the copy never completed; the partition recovers through the
+// failover path instead.
+func (sr *stageRun) onMigrateDone(e *event) {
+	r := sr.r
+	ts := e.transfer
+	if r.dead[ts.src] {
+		return
+	}
+	r.metrics.Migrations++
+	r.metrics.MigrationBytes += ts.bytes
+	r.home[ts.part] = ts.dst
+	if ds := r.drainState[ts.src]; ds != nil {
+		ds.outstanding--
+		if ds.outstanding <= 0 {
+			sr.retire(ts.src)
+		}
+	}
+}
+
+// retire completes a clean drain: the machine leaves the cluster with all
+// its state handed off and nothing lost. Retired is distinct from dead —
+// Deaths() stays untouched, so multi-iteration drivers do not mistake a
+// clean drain for a failure and roll back to a checkpoint.
+func (sr *stageRun) retire(m cluster.MachineID) {
+	r := sr.r
+	delete(r.drainState, m)
+	delete(r.draining, m)
+	r.retired[m] = true
+}
+
+// onDrainDeadline fires at a drain's deadline: if migrations are still in
+// flight the drain degrades into an ordinary machine death whose failure
+// event is caused by the machine-drain, and the standard lost-task /
+// heartbeat / failover recovery takes over. A deadline whose drain already
+// retired (or died) is stale and ignored.
+func (sr *stageRun) onDrainDeadline(e *event) {
+	r := sr.r
+	m := e.failMachine
+	ds := r.drainState[m]
+	if ds == nil || !r.draining[m] || r.dead[m] {
+		sr.popSeq = trace.None
+		return
+	}
+	delete(r.drainState, m)
+	delete(r.draining, m)
+	sr.failMachine(m, e.at, ds.seq)
+}

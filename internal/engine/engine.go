@@ -55,6 +55,11 @@ type Config struct {
 	// Speculation enables MapReduce-style backup tasks for stragglers.
 	// Requires Replicas (backups run on replica holders).
 	Speculation fault.SpeculationPolicy
+	// PartBytes is the resident state volume of each partition, indexed by
+	// PartID: the bytes a live migration must copy when the partition's
+	// home machine drains. Missing or short means zero-cost (instant)
+	// migrations. Only consulted when Faults contains drains.
+	PartBytes []int64
 }
 
 // Runner executes jobs on the simulated cluster. A Runner carries its
@@ -91,6 +96,23 @@ type Runner struct {
 	faults *fault.Schedule
 	retry  fault.RetryPolicy
 	spec   fault.SpeculationPolicy
+	// Elastic membership (see elastic.go). dormant marks provisioned
+	// machines whose join has not fired; draining marks machines mid-drain;
+	// retired marks cleanly decommissioned machines. home overlays the
+	// replica primary as a partition's current location after migration —
+	// the shared Replicas is never mutated, so runners at different worker
+	// counts stay independent. nicRate caps a machine's NIC line rate
+	// (0 = topology rate); joins and drains are the pending elastic events
+	// in deterministic (At, Machine) order; drainState tracks each active
+	// drain's outstanding migrations.
+	dormant    map[cluster.MachineID]bool
+	draining   map[cluster.MachineID]bool
+	retired    map[cluster.MachineID]bool
+	home       map[partition.PartID]cluster.MachineID
+	nicRate    []float64
+	joins      []fault.MachineJoin
+	drains     []fault.MachineDrain
+	drainState map[cluster.MachineID]*drainState
 	// evq is the simulation event queue, shared across stages and jobs so
 	// its heap storage and event freelist are reused.
 	evq eventQueue
@@ -113,9 +135,27 @@ func New(cfg Config) *Runner {
 		lastJobEnd:  trace.None,
 		failSeq:     make(map[cluster.MachineID]int),
 		lastFailSeq: trace.None,
+		dormant:     make(map[cluster.MachineID]bool),
+		draining:    make(map[cluster.MachineID]bool),
+		retired:     make(map[cluster.MachineID]bool),
+		home:        make(map[partition.PartID]cluster.MachineID),
+		nicRate:     make([]float64, cfg.Topo.NumMachines()),
+		drainState:  make(map[cluster.MachineID]*drainState),
 	}
 	r.failures = append(r.failures, cfg.Failures...)
 	sortFailures(r.failures)
+	if cfg.Faults != nil {
+		// Join targets start dormant; their NIC rate cap is in force from
+		// the moment they go live.
+		for _, j := range cfg.Faults.Joins {
+			if int(j.Machine) >= 0 && int(j.Machine) < len(r.nicRate) {
+				r.dormant[j.Machine] = true
+				r.nicRate[j.Machine] = j.NICs
+			}
+		}
+		r.joins = cfg.Faults.SortedJoins()
+		r.drains = cfg.Faults.SortedDrains()
+	}
 	return r
 }
 
@@ -245,6 +285,10 @@ type pendingTransfer struct {
 	// onto the emitted transfer event for the causal DAG.
 	dstName string
 	cause   int
+	// migrate marks a live partition migration: a successful attempt emits
+	// KindPartitionMigrate instead of KindTransfer and rehomes the
+	// partition on arrival. part is the migrating partition itself.
+	migrate bool
 }
 
 // runAttempt is one currently-executing copy of a task, registered when the
@@ -324,6 +368,9 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 	if len(r.failures) > 0 && r.cfg.Replicas == nil {
 		return Metrics{}, fmt.Errorf("engine: failures configured without replicas")
 	}
+	if len(r.drains) > 0 && r.cfg.Replicas == nil {
+		return Metrics{}, fmt.Errorf("engine: drains configured without replicas (migration needs partition homes)")
+	}
 	before := r.metrics
 	start := r.clock
 	total := 0
@@ -363,6 +410,10 @@ func (r *Runner) Run(job *Job) (Metrics, error) {
 	m.Speculations -= before.Speculations
 	m.Checkpoints -= before.Checkpoints
 	m.Restores -= before.Restores
+	m.Joins -= before.Joins
+	m.Drains -= before.Drains
+	m.Migrations -= before.Migrations
+	m.MigrationBytes -= before.MigrationBytes
 	return m, nil
 }
 
@@ -384,19 +435,16 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 		remaining:   nt,
 		end:         r.clock,
 	}
-	// Enqueue tasks on their machines, failing over dead primaries. Each
+	// Enqueue tasks on their machines: a migrated partition's tasks follow
+	// its new home, dead/draining/dormant/retired primaries fail over. Each
 	// task is stamped with its stage-local index, the key of all per-task
 	// state above.
 	for i, t := range stage.Tasks {
 		t.idx = i
 		sr.taskMachine[i] = -1
-		m := t.Machine
-		if r.dead[m] {
-			fm, err := r.failover(t)
-			if err != nil {
-				return nil, err
-			}
-			m = fm
+		m, err := r.place(t)
+		if err != nil {
+			return nil, err
 		}
 		sr.queues[m] = append(sr.queues[m], t)
 	}
@@ -410,6 +458,26 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 				at = r.clock
 			}
 			sr.push(event{at: at, kind: evFailure, failMachine: f.Machine})
+		}
+	}
+	// Arm elastic membership events the same way: joins that have not
+	// fired (machine still dormant) and drains that have not started.
+	for _, j := range r.joins {
+		if r.dormant[j.Machine] {
+			at := j.At
+			if at < r.clock {
+				at = r.clock
+			}
+			sr.push(event{at: at, kind: evJoin, failMachine: j.Machine})
+		}
+	}
+	for _, d := range r.drains {
+		if !r.draining[d.Machine] && !r.retired[d.Machine] && !r.dead[d.Machine] {
+			at := d.At
+			if at < r.clock {
+				at = r.clock
+			}
+			sr.push(event{at: at, kind: evDrain, failMachine: d.Machine, deadline: d.Deadline})
 		}
 	}
 	sr.stageBeginSeq = r.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: job.Name, Stage: stage.Name,
@@ -435,12 +503,21 @@ func (r *Runner) runStage(job *Job, si int, prev *stageRun, cause int) (*stageRu
 		case evTransferDone:
 			sr.inflight--
 			sr.popSeq = e.traceSeq
+			if e.transfer != nil && e.transfer.migrate {
+				sr.onMigrateDone(e)
+			}
 		case evFailure:
 			sr.onFailure(e)
 		case evRecovery:
 			sr.onRecovery(e, prev)
 		case evTransferRetry:
 			sr.onTransferRetry(e)
+		case evJoin:
+			sr.onJoin(e)
+		case evDrain:
+			sr.onDrain(e)
+		case evDrainDeadline:
+			sr.onDrainDeadline(e)
 		}
 		if sr.err != nil {
 			return nil, sr.err
@@ -567,10 +644,8 @@ func (sr *stageRun) onTaskDone(e *event, prev *stageRun) {
 		for _, out := range t.Outputs {
 			dst := next.Tasks[out.DstTask]
 			dstM := dst.Machine
-			if r.dead[dstM] {
-				if fm, err := r.failover(dst); err == nil {
-					dstM = fm
-				}
+			if pm, err := r.place(dst); err == nil {
+				dstM = pm
 			}
 			sr.sendBytes(e.machine, dstM, out.Bytes, e.at, dst.Part, dst.Name, endSeq)
 		}
@@ -629,11 +704,12 @@ func (sr *stageRun) maybeSpeculate(now float64) {
 	}
 }
 
-// backupMachine picks the first live replica holder of the task's partition
-// that is not the machine already running it, or -1 when none exists.
+// backupMachine picks the first available replica holder of the task's
+// partition that is not the machine already running it, or -1 when none
+// exists. Draining, retired and dormant machines do not accept backups.
 func (r *Runner) backupMachine(t *Task, running cluster.MachineID) cluster.MachineID {
 	for _, m := range r.cfg.Replicas.Machines[t.Part] {
-		if m != running && !r.dead[m] {
+		if m != running && !r.unavailable(m) {
 			return m
 		}
 	}
@@ -708,14 +784,28 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 		return
 	}
 	factor := r.faults.LinkFactor(ts.src, ts.dst, start)
-	dur := float64(ts.bytes) * factor / r.cfg.Topo.Bandwidth(ts.src, ts.dst)
+	// An elastic machine's NIC line rate caps the link in both directions
+	// (min of link bandwidth and either endpoint's rate), the slow-spot-
+	// instance model.
+	bw := r.cfg.Topo.Bandwidth(ts.src, ts.dst)
+	if nr := r.nicRate[ts.src]; nr > 0 && nr < bw {
+		bw = nr
+	}
+	if nr := r.nicRate[ts.dst]; nr > 0 && nr < bw {
+		bw = nr
+	}
+	dur := float64(ts.bytes) * factor / bw
 	sr.egressFree[ts.src] = start + dur
 	sr.ingressFree[ts.dst] = start + dur
 	// Only delivered bytes count as network I/O; dropped attempts moved
 	// nothing.
 	r.metrics.NetworkBytes += ts.bytes
+	kind := trace.KindTransfer
+	if ts.migrate {
+		kind = trace.KindPartitionMigrate
+	}
 	seq := r.tr.Emit(trace.Event{
-		Kind: trace.KindTransfer, Job: sr.job.Name, Stage: sr.stageName(), Name: ts.dstName,
+		Kind: kind, Job: sr.job.Name, Stage: sr.stageName(), Name: ts.dstName,
 		Cause: ts.cause, Machine: int(ts.src), Dst: int(ts.dst), Part: int(ts.part), Bytes: ts.bytes,
 		Time: now, Start: start, End: start + dur, Stall: start - now,
 		// The receiver's ingress NIC is the binding constraint when it
@@ -723,7 +813,13 @@ func (sr *stageRun) dispatch(ts *pendingTransfer, now float64) {
 		Incast:  inFree > now && inFree >= egFree,
 		Attempt: ts.attempt, Degraded: factor > 1,
 	})
-	sr.push(event{at: start + dur, kind: evTransferDone, bytes: ts.bytes, traceSeq: seq})
+	done := event{at: start + dur, kind: evTransferDone, bytes: ts.bytes, traceSeq: seq}
+	if ts.migrate {
+		// The completion handler needs the transfer record to rehome the
+		// partition on arrival.
+		done.transfer = ts
+	}
+	sr.push(done)
 }
 
 // onTransferRetry re-issues a dropped transfer once its backoff elapses.
@@ -743,20 +839,27 @@ func (sr *stageRun) onTransferRetry(e *event) {
 }
 
 // onFailure marks the machine dead, collects its lost work and schedules the
-// manager's reaction one heartbeat later.
+// manager's reaction one heartbeat later. A scheduled failure is exogenous;
+// anchoring it to the enclosing stage keeps the DAG rooted, and the analyzer
+// blames the gap to the stage's start on the fault model (retry backoff),
+// not on work.
 func (sr *stageRun) onFailure(e *event) {
+	sr.failMachine(e.failMachine, e.at, sr.stageBeginSeq)
+}
+
+// failMachine executes a machine death at time at: the failure trace event
+// cites cause (the stage begin for scheduled failures, the machine-drain for
+// an expired drain deadline), lost work is collected and the manager's
+// reaction scheduled one heartbeat later.
+func (sr *stageRun) failMachine(m cluster.MachineID, at float64, cause int) {
 	r := sr.r
-	m := e.failMachine
 	if r.dead[m] {
 		sr.popSeq = r.failSeq[m]
 		return
 	}
 	r.dead[m] = true
-	// A failure is exogenous; anchoring it to the enclosing stage keeps the
-	// DAG rooted, and the analyzer blames the gap to the stage's start on
-	// the fault model (retry backoff), not on work.
 	failSeq := r.tr.Emit(trace.Event{Kind: trace.KindFailure, Job: sr.job.Name, Stage: sr.stageName(),
-		Cause: sr.stageBeginSeq, Machine: int(m), Dst: trace.None, Part: trace.None, Time: e.at})
+		Cause: cause, Machine: int(m), Dst: trace.None, Part: trace.None, Time: at})
 	r.failSeq[m] = failSeq
 	r.lastFailSeq = failSeq
 	sr.popSeq = failSeq
@@ -790,10 +893,10 @@ func (sr *stageRun) onFailure(e *event) {
 		sr.running[m] = 0
 	}
 	for _, t := range lost {
-		sr.emitTask(trace.KindTaskLost, t, m, e.at, 0, 0, failSeq)
+		sr.emitTask(trace.KindTaskLost, t, m, at, 0, 0, failSeq)
 	}
 	sr.push(event{
-		at:       e.at + r.cfg.HeartbeatInterval,
+		at:       at + r.cfg.HeartbeatInterval,
 		kind:     evRecovery,
 		lost:     lost,
 		traceSeq: failSeq,
@@ -853,16 +956,18 @@ func (sr *stageRun) onRecovery(e *event, prev *stageRun) {
 	}
 }
 
-// failover picks a live replica machine for a task's partition.
+// failover picks an available replica machine for a task's partition.
+// Availability excludes dead machines and — under elastic membership —
+// dormant, draining and retired ones.
 func (r *Runner) failover(t *Task) (cluster.MachineID, error) {
 	if t.Part == NoPart || r.cfg.Replicas == nil {
-		// Unpinned task: any live machine.
+		// Unpinned task: any available machine.
 		for i := 0; i < r.cfg.Topo.NumMachines(); i++ {
-			if !r.dead[cluster.MachineID(i)] {
+			if !r.unavailable(cluster.MachineID(i)) {
 				return cluster.MachineID(i), nil
 			}
 		}
 		return 0, fmt.Errorf("engine: no live machines")
 	}
-	return r.cfg.Replicas.Failover(t.Part, r.dead)
+	return r.cfg.Replicas.FailoverFunc(t.Part, r.unavailable)
 }

@@ -11,6 +11,14 @@ const (
 	evRecovery
 	// evTransferRetry re-issues a dropped transfer after its backoff.
 	evTransferRetry
+	// evJoin brings a dormant elastic machine live (fault.MachineJoin).
+	evJoin
+	// evDrain starts a graceful decommission (fault.MachineDrain); the
+	// event carries the drain deadline.
+	evDrain
+	// evDrainDeadline fires at a drain's deadline; if migration is still
+	// incomplete the machine degrades into the ordinary death path.
+	evDrainDeadline
 )
 
 type event struct {
@@ -27,9 +35,11 @@ type event struct {
 	// transfer events
 	bytes    int64
 	transfer *pendingTransfer
-	// failure events
+	// failure and elastic-membership events (failMachine doubles as the
+	// joining/draining machine; deadline is a drain's migration deadline)
 	failMachine cluster.MachineID
 	lost        []*Task
+	deadline    float64
 	// traceSeq is the Seq of the trace event whose consequence this heap
 	// event is (the transfer for evTransferDone, the failure for evRecovery,
 	// the drop for evTransferRetry); startSeq is the task-start Seq carried

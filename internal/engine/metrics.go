@@ -34,6 +34,18 @@ type Metrics struct {
 	// rollback restores recorded by multi-iteration drivers.
 	Checkpoints int
 	Restores    int
+	// Joins and Drains count elastic membership events fired: machines
+	// that went live mid-run and machines that began a graceful drain
+	// (a drain whose deadline expires additionally shows up in the death
+	// metrics via the failover path).
+	Joins  int
+	Drains int
+	// Migrations counts committed live partition migrations (including
+	// instant zero-byte rehomes); MigrationBytes is the delivered
+	// migration volume, also included in NetworkBytes — migration traffic
+	// is real traffic.
+	Migrations     int
+	MigrationBytes int64
 }
 
 // Add accumulates other into m (for multi-iteration jobs).
@@ -49,6 +61,10 @@ func (m *Metrics) Add(other Metrics) {
 	m.Speculations += other.Speculations
 	m.Checkpoints += other.Checkpoints
 	m.Restores += other.Restores
+	m.Joins += other.Joins
+	m.Drains += other.Drains
+	m.Migrations += other.Migrations
+	m.MigrationBytes += other.MigrationBytes
 }
 
 // IOSample is a point on the disk-I/O-rate timeline (Figure 10).

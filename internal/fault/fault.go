@@ -60,6 +60,11 @@ type Slowdown struct {
 type Schedule struct {
 	Links     []LinkFault
 	Slowdowns []Slowdown
+	// Joins and Drains are the elastic-membership events (see elastic.go):
+	// machines arriving mid-job and machines gracefully decommissioning
+	// with live partition migration.
+	Joins  []MachineJoin
+	Drains []MachineDrain
 }
 
 // active reports whether t falls inside [from, until).
@@ -118,7 +123,8 @@ func (s *Schedule) SlowdownFactor(m cluster.MachineID, t float64) float64 {
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool {
-	return s == nil || (len(s.Links) == 0 && len(s.Slowdowns) == 0)
+	return s == nil || (len(s.Links) == 0 && len(s.Slowdowns) == 0 &&
+		len(s.Joins) == 0 && len(s.Drains) == 0)
 }
 
 // Validate rejects malformed fault windows before they can hang a run: a
@@ -156,7 +162,7 @@ func (s *Schedule) Validate(numMachines int) error {
 			return fmt.Errorf("fault: slowdown %d has factor %g (want > 1)", i, sd.Factor)
 		}
 	}
-	return nil
+	return ValidateElastic(s.Joins, s.Drains, numMachines)
 }
 
 // RetryPolicy governs dropped-transfer recovery: a transfer that makes no

@@ -9,21 +9,30 @@ import (
 )
 
 // File is the on-disk fault-schedule format consumed by the CLIs: a JSON
-// document naming machine kills, link faults and slowdowns in one place,
-// so a whole chaos scenario is reproducible from a single file.
+// document naming machine kills, link faults, slowdowns and elastic
+// membership events in one place, so a whole chaos scenario is reproducible
+// from a single file.
 //
 //	{
 //	  "kills":     [{"machine": 2, "at": 1.5}],
 //	  "links":     [{"src": 0, "dst": 3, "from": 0.5, "until": 2.0,
 //	                 "factor": 4}],
 //	  "drops":     [{"src": 1, "dst": 2, "from": 0.2, "until": 0.8}],
-//	  "slowdowns": [{"machine": 5, "from": 0, "until": 10, "factor": 3}]
+//	  "slowdowns": [{"machine": 5, "from": 0, "until": 10, "factor": 3}],
+//	  "joins":     [{"machine": 8, "at": 0.5, "nics": 62.5e6}],
+//	  "drains":    [{"machine": 3, "at": 1.0, "deadline": 4.0}]
 //	}
+//
+// A machine named in "joins" starts dormant: the runner's topology must be
+// provisioned large enough to include it (the CLIs expand the base topology
+// automatically when a join references a machine beyond it).
 type File struct {
 	Kills     []FileKill     `json:"kills,omitempty"`
 	Links     []FileLink     `json:"links,omitempty"`
 	Drops     []FileLink     `json:"drops,omitempty"`
 	Slowdowns []FileSlowdown `json:"slowdowns,omitempty"`
+	Joins     []FileJoin     `json:"joins,omitempty"`
+	Drains    []FileDrain    `json:"drains,omitempty"`
 }
 
 // FileKill is a permanent machine death entry.
@@ -50,6 +59,22 @@ type FileSlowdown struct {
 	Factor  float64 `json:"factor"`
 }
 
+// FileJoin is an elastic machine-join entry; NICs is the optional NIC line
+// rate in bytes/second (0 = full topology rate).
+type FileJoin struct {
+	Machine int     `json:"machine"`
+	At      float64 `json:"at"`
+	NICs    float64 `json:"nics,omitempty"`
+}
+
+// FileDrain is an elastic machine-drain entry; Deadline is the absolute
+// virtual time by which live migration must finish.
+type FileDrain struct {
+	Machine  int     `json:"machine"`
+	At       float64 `json:"at"`
+	Deadline float64 `json:"deadline"`
+}
+
 // Load reads and decodes a fault-schedule file.
 func Load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
@@ -63,11 +88,12 @@ func Load(path string) (*File, error) {
 	return &f, nil
 }
 
-// Schedule converts the file's transient entries into an engine-ready
-// Schedule (kills are exposed separately via Kills, since permanent deaths
-// are engine.Failure territory).
+// Schedule converts the file's transient and elastic entries into an
+// engine-ready Schedule (kills are exposed separately via KillList, since
+// permanent deaths are engine.Failure territory).
 func (f *File) Schedule() *Schedule {
-	if f == nil || (len(f.Links) == 0 && len(f.Drops) == 0 && len(f.Slowdowns) == 0) {
+	if f == nil || (len(f.Links) == 0 && len(f.Drops) == 0 && len(f.Slowdowns) == 0 &&
+		len(f.Joins) == 0 && len(f.Drains) == 0) {
 		return nil
 	}
 	s := &Schedule{}
@@ -89,6 +115,16 @@ func (f *File) Schedule() *Schedule {
 			From:    sd.From, Until: sd.Until, Factor: sd.Factor,
 		})
 	}
+	for _, j := range f.Joins {
+		s.Joins = append(s.Joins, MachineJoin{
+			Machine: cluster.MachineID(j.Machine), At: j.At, NICs: j.NICs,
+		})
+	}
+	for _, d := range f.Drains {
+		s.Drains = append(s.Drains, MachineDrain{
+			Machine: cluster.MachineID(d.Machine), At: d.At, Deadline: d.Deadline,
+		})
+	}
 	return s
 }
 
@@ -102,4 +138,60 @@ func (f *File) KillList() []Kill {
 		out = append(out, Kill{Machine: cluster.MachineID(k.Machine), At: k.At})
 	}
 	return out
+}
+
+// MaxMachine returns the largest machine ID the file references, or -1 for
+// an empty file. CLIs use it to expand the base topology when a join
+// provisions machines beyond it.
+func (f *File) MaxMachine() int {
+	max := -1
+	up := func(m int) {
+		if m > max {
+			max = m
+		}
+	}
+	if f == nil {
+		return max
+	}
+	for _, k := range f.Kills {
+		up(k.Machine)
+	}
+	for _, l := range f.Links {
+		up(l.Src)
+		up(l.Dst)
+	}
+	for _, l := range f.Drops {
+		up(l.Src)
+		up(l.Dst)
+	}
+	for _, sd := range f.Slowdowns {
+		up(sd.Machine)
+	}
+	for _, j := range f.Joins {
+		up(j.Machine)
+	}
+	for _, d := range f.Drains {
+		up(d.Machine)
+	}
+	return max
+}
+
+// Validate rejects a fault file that references machines outside a
+// numMachines-machine topology — including kills, which the Schedule
+// conversion does not carry — and replays the full Schedule validation on
+// the transient and elastic entries. CLIs call it right after Load so a
+// stray machine ID fails loudly instead of producing a fault-free run.
+func (f *File) Validate(numMachines int) error {
+	if f == nil {
+		return nil
+	}
+	for i, k := range f.Kills {
+		if k.Machine < 0 || k.Machine >= numMachines {
+			return fmt.Errorf("fault: kill %d references machine %d outside the %d-machine topology", i, k.Machine, numMachines)
+		}
+	}
+	if err := f.Schedule().Validate(numMachines); err != nil {
+		return err
+	}
+	return nil
 }

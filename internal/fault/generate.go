@@ -20,6 +20,16 @@ type GenConfig struct {
 	// Kills is the number of permanent machine deaths to draw (returned
 	// separately — deaths are engine.Failure territory).
 	Kills int
+	// Joins is the number of elastic machine joins to draw. Join targets
+	// are the machines [Machines, Machines+Joins) — callers must provision
+	// the topology that large (cluster.Expand) and size validation against
+	// Machines+Joins.
+	Joins int
+	// Drains is the number of graceful machine drains to draw, over
+	// distinct initially-live machines (never machine 0, never a killed
+	// machine). Deadlines mix loose (migration completes) and tight
+	// (degrades into the death path) so churn exercises both outcomes.
+	Drains int
 	// Seed drives every random choice.
 	Seed int64
 }
@@ -87,6 +97,32 @@ func Generate(cfg GenConfig) (*Schedule, []Kill) {
 		kills = append(kills, Kill{
 			Machine: m,
 			At:      (0.1 + 0.6*rng.Float64()) * cfg.Horizon,
+		})
+	}
+	for i := 0; i < cfg.Joins; i++ {
+		s.Joins = append(s.Joins, MachineJoin{
+			Machine: cluster.MachineID(cfg.Machines + i),
+			At:      (0.05 + 0.5*rng.Float64()) * cfg.Horizon,
+			NICs:    0,
+		})
+	}
+	// Drains pick distinct initially-live machines, avoiding machine 0 and
+	// the killed set so a drain never races a death of the same machine.
+	for i := 0; i < cfg.Drains && len(used) < cfg.Machines; i++ {
+		m := cluster.MachineID(1 + rng.Intn(cfg.Machines-1))
+		for used[m] {
+			m = cluster.MachineID(1 + rng.Intn(cfg.Machines-1))
+		}
+		used[m] = true
+		at := (0.1 + 0.5*rng.Float64()) * cfg.Horizon
+		// Alternate loose and tight deadlines: loose drains migrate out
+		// cleanly, tight ones expire into the death/failover path.
+		slack := 0.5 * cfg.Horizon
+		if i%2 == 1 {
+			slack = 0.01 * cfg.Horizon
+		}
+		s.Drains = append(s.Drains, MachineDrain{
+			Machine: m, At: at, Deadline: at + slack,
 		})
 	}
 	return s, kills

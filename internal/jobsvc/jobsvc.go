@@ -577,10 +577,21 @@ func (s *service) startStage(jr *jobRun, now float64) {
 	jr.dispatchCause = beginSeq
 	touched := make([]cluster.MachineID, 0, len(stage.Tasks))
 	for _, t := range stage.Tasks {
-		if len(s.queues[t.Machine]) == 0 {
-			touched = append(touched, t.Machine)
+		m := t.Machine
+		// Elastic membership: a machine that is draining (or not yet
+		// joined) at this barrier stops accepting new tasks — its work is
+		// rerouted to the least-loaded accepting machine. Running tasks
+		// elsewhere in flight are untouched; barriers are the only points
+		// where assignment decisions happen.
+		if !s.faults.AcceptingAt(m, now) {
+			if rm, ok := s.rerouteTarget(now); ok {
+				m = rm
+			}
 		}
-		s.queues[t.Machine] = append(s.queues[t.Machine], &simTask{jr: jr, t: t})
+		if len(s.queues[m]) == 0 {
+			touched = append(touched, m)
+		}
+		s.queues[m] = append(s.queues[m], &simTask{jr: jr, t: t})
 	}
 	// Machines in ID order for determinism (engine-equivalent); only ones
 	// this stage touched can have gained runnable work.
@@ -588,6 +599,26 @@ func (s *service) startStage(jr *jobRun, now float64) {
 	for _, m := range touched {
 		s.startNext(m, now, jr.dispatchCause)
 	}
+}
+
+// rerouteTarget picks the accepting machine with the least pending work
+// (queued + running), ties to the lowest machine ID — the deterministic
+// landing spot for tasks whose pinned machine is draining or not yet
+// joined. False when no machine accepts (the caller then keeps the pin).
+func (s *service) rerouteTarget(now float64) (cluster.MachineID, bool) {
+	best := cluster.MachineID(-1)
+	bestLoad := 0
+	for i := 0; i < s.cfg.Topo.NumMachines(); i++ {
+		m := cluster.MachineID(i)
+		if !s.faults.AcceptingAt(m, now) {
+			continue
+		}
+		load := len(s.queues[m]) + s.running[m]
+		if best < 0 || load < bestLoad {
+			best, bestLoad = m, load
+		}
+	}
+	return best, best >= 0
 }
 
 // startNext launches queued tasks on machine m until its slots fill or its

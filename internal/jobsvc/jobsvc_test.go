@@ -8,8 +8,10 @@ import (
 
 	"repro/internal/analyze"
 	"repro/internal/cluster"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/partition"
 	"repro/internal/trace"
 )
 
@@ -266,5 +268,86 @@ func TestJainIndex(t *testing.T) {
 	}
 	if j := JainIndex(nil); j != 0 {
 		t.Fatalf("empty allocation: %g, want 0", j)
+	}
+}
+
+// pinnedJob builds a one-stage job with one unit-compute task pinned to
+// each listed machine.
+func pinnedJob(id string, machines ...cluster.MachineID) Job {
+	tasks := make([]*engine.Task, len(machines))
+	for i, m := range machines {
+		tasks[i] = &engine.Task{Name: fmt.Sprintf("t%d", i), Part: partition.PartID(i),
+			Machine: m, Compute: 1}
+	}
+	return Job{
+		Spec: JobSpec{ID: id, Tenant: "t", Submit: 0},
+		Plan: []*engine.Job{{Name: id, Stages: []*engine.Stage{{Name: "s", Tasks: tasks}}}},
+	}
+}
+
+// taskMachines returns the set of machines TaskStart events ran on.
+func taskMachines(evs []trace.Event) map[cluster.MachineID]int {
+	out := map[cluster.MachineID]int{}
+	for _, ev := range evs {
+		if ev.Kind == trace.KindTaskStart {
+			out[cluster.MachineID(ev.Machine)]++
+		}
+	}
+	return out
+}
+
+// TestDrainReroutesPinnedTasks: at a stage barrier the service reroutes
+// tasks whose pinned machine is draining or not yet joined to the
+// least-loaded accepting machine, deterministically.
+func TestDrainReroutesPinnedTasks(t *testing.T) {
+	topo := cluster.NewT1(4)
+	// Machine 1 drains at t=0; machine 3 does not join until t=100. Tasks
+	// pinned to either must land elsewhere.
+	sched := &fault.Schedule{
+		Joins:  []fault.MachineJoin{{Machine: 3, At: 100}},
+		Drains: []fault.MachineDrain{{Machine: 1, At: 0, Deadline: 100}},
+	}
+	rec := trace.NewRecorder()
+	recs, err := Run(Config{Topo: topo, Policy: FIFO, Trace: rec, Faults: sched},
+		[]Job{pinnedJob("j", 0, 1, 2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].TasksRun != 4 {
+		t.Fatalf("tasks run = %d, want 4", recs[0].TasksRun)
+	}
+	got := taskMachines(rec.Events())
+	if got[1] != 0 || got[3] != 0 {
+		t.Fatalf("tasks ran on a draining/dormant machine: %v", got)
+	}
+	if got[0]+got[2] != 4 {
+		t.Fatalf("rerouted tasks lost: %v", got)
+	}
+	// Least-loaded tie-break: the two displaced tasks split across the two
+	// accepting machines rather than piling onto one.
+	if got[0] != 2 || got[2] != 2 {
+		t.Fatalf("reroute did not balance load: %v", got)
+	}
+}
+
+// TestRerouteKeepsPinWhenNothingAccepts: with every machine draining the
+// reroute has no target, so tasks keep their pins instead of deadlocking.
+func TestRerouteKeepsPinWhenNothingAccepts(t *testing.T) {
+	topo := cluster.NewT1(2)
+	sched := &fault.Schedule{Drains: []fault.MachineDrain{
+		{Machine: 0, At: 0, Deadline: 100}, {Machine: 1, At: 0, Deadline: 100},
+	}}
+	rec := trace.NewRecorder()
+	recs, err := Run(Config{Topo: topo, Policy: FIFO, Trace: rec, Faults: sched},
+		[]Job{pinnedJob("j", 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].TasksRun != 2 {
+		t.Fatalf("tasks run = %d, want 2", recs[0].TasksRun)
+	}
+	got := taskMachines(rec.Events())
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("pins not kept: %v", got)
 	}
 }

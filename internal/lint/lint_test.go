@@ -161,8 +161,9 @@ func TestSanctionedPoolExempt(t *testing.T) {
 }
 
 // TestDocSync pins SL004: the fixture metrics doc omits exactly the
-// "spill" kind and the scheduler's "job-preempted" — documented kinds,
-// including the scheduler's "job-queued", stay silent.
+// "spill" kind, the scheduler's "job-preempted" and the elastic
+// "machine-drain" — documented kinds, including the scheduler's
+// "job-queued" and the elastic "partition-migrate", stay silent.
 func TestDocSync(t *testing.T) {
 	var docs []lint.Finding
 	for _, f := range corpusFindings(t) {
@@ -170,8 +171,8 @@ func TestDocSync(t *testing.T) {
 			docs = append(docs, f)
 		}
 	}
-	if len(docs) != 2 {
-		t.Fatalf("want 2 SL004 findings, got %d: %v", len(docs), docs)
+	if len(docs) != 3 {
+		t.Fatalf("want 3 SL004 findings, got %d: %v", len(docs), docs)
 	}
 	if !strings.Contains(docs[0].Message, "KindSpill") || !strings.Contains(docs[0].Message, `"spill"`) {
 		t.Errorf("SL004 message should name KindSpill and its display string, got %q", docs[0].Message)
@@ -179,9 +180,12 @@ func TestDocSync(t *testing.T) {
 	if !strings.Contains(docs[1].Message, "KindJobPreempted") || !strings.Contains(docs[1].Message, `"job-preempted"`) {
 		t.Errorf("SL004 message should name KindJobPreempted and its display string, got %q", docs[1].Message)
 	}
+	if !strings.Contains(docs[2].Message, "KindMachineDrain") || !strings.Contains(docs[2].Message, `"machine-drain"`) {
+		t.Errorf("SL004 message should name KindMachineDrain and its display string, got %q", docs[2].Message)
+	}
 	for _, f := range docs {
-		if strings.Contains(f.Message, "KindJobQueued") {
-			t.Errorf("documented scheduler kind KindJobQueued flagged: %q", f.Message)
+		if strings.Contains(f.Message, "KindJobQueued") || strings.Contains(f.Message, "KindPartitionMigrate") {
+			t.Errorf("documented kind flagged: %q", f.Message)
 		}
 	}
 }

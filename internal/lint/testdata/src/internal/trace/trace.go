@@ -1,7 +1,7 @@
-// Package trace fixture for SL004: five event kinds with String mappings;
-// the metrics doc next to this corpus documents task-start, transfer and
-// job-queued but neither spill nor the scheduler's job-preempted — exactly
-// two findings, at KindSpill and KindJobPreempted.
+// Package trace fixture for SL004: seven event kinds with String mappings;
+// the metrics doc next to this corpus documents task-start, transfer,
+// job-queued and the elastic partition-migrate, but neither spill, the
+// scheduler's job-preempted nor machine-drain — exactly three findings.
 package trace
 
 type EventKind uint8
@@ -12,6 +12,8 @@ const (
 	KindSpill
 	KindJobQueued
 	KindJobPreempted
+	KindPartitionMigrate
+	KindMachineDrain
 )
 
 func (k EventKind) String() string {
@@ -26,6 +28,10 @@ func (k EventKind) String() string {
 		return "job-queued"
 	case KindJobPreempted:
 		return "job-preempted"
+	case KindPartitionMigrate:
+		return "partition-migrate"
+	case KindMachineDrain:
+		return "machine-drain"
 	default:
 		return "unknown"
 	}

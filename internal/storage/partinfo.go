@@ -231,6 +231,17 @@ func (pg *PartitionedGraph) Bytes() int64 {
 	return b
 }
 
+// PartBytes returns the serialized size of each partition indexed by
+// PartID — the per-partition migration volume the engine charges when a
+// drain evicts resident state (engine.Config.PartBytes).
+func (pg *PartitionedGraph) PartBytes() []int64 {
+	out := make([]int64, len(pg.Parts))
+	for p, pi := range pg.Parts {
+		out[p] = pi.Bytes
+	}
+	return out
+}
+
 // Validate cross-checks the metadata invariants: vertex cover, symmetric
 // cross-edge counts, boundary consistency.
 func (pg *PartitionedGraph) Validate() error {

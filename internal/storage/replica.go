@@ -80,6 +80,42 @@ func (r *Replicas) Failover(p partition.PartID, dead map[cluster.MachineID]bool)
 	return 0, fmt.Errorf("storage: all %d replicas of partition %d are on dead machines", len(r.Machines[p]), p)
 }
 
+// FailoverFunc is Failover generalized over an arbitrary exclusion
+// predicate, for elastic membership: the engine excludes not just dead
+// machines but also draining, retired and still-dormant ones.
+func (r *Replicas) FailoverFunc(p partition.PartID, excluded func(cluster.MachineID) bool) (cluster.MachineID, error) {
+	for _, m := range r.Machines[p] {
+		if !excluded(m) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("storage: all %d replicas of partition %d are excluded", len(r.Machines[p]), p)
+}
+
+// MigrationTarget picks the machine a partition migrates to when its home
+// drains: deterministically the lowest-ID available machine holding a
+// replica of p (the copy is already local — cheapest handoff), else the
+// lowest-ID available machine overall. available must be stable across
+// worker counts for determinism; load balancing is the caller's concern via
+// the available predicate.
+func (r *Replicas) MigrationTarget(p partition.PartID, numMachines int, available func(cluster.MachineID) bool) (cluster.MachineID, error) {
+	best := cluster.MachineID(-1)
+	for _, m := range r.Machines[p] {
+		if available(m) && (best < 0 || m < best) {
+			best = m
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	for i := 0; i < numMachines; i++ {
+		if available(cluster.MachineID(i)) {
+			return cluster.MachineID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("storage: no available migration target for partition %d", p)
+}
+
 // Validate checks that each partition has distinct replica machines and at
 // least one replica.
 func (r *Replicas) Validate(topo *cluster.Topology) error {

@@ -226,3 +226,82 @@ func TestFailover(t *testing.T) {
 		t.Fatal("expected failover error with all machines dead")
 	}
 }
+
+func TestFailoverFunc(t *testing.T) {
+	r := &Replicas{Machines: [][]cluster.MachineID{{2, 0, 1}}}
+	excl := func(bad ...cluster.MachineID) func(cluster.MachineID) bool {
+		return func(m cluster.MachineID) bool {
+			for _, b := range bad {
+				if m == b {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	if m, err := r.FailoverFunc(0, excl()); err != nil || m != 2 {
+		t.Fatalf("no exclusions: %d, %v", m, err)
+	}
+	// Replica order, not ID order: excluding the primary lands on the next
+	// listed holder.
+	if m, err := r.FailoverFunc(0, excl(2)); err != nil || m != 0 {
+		t.Fatalf("primary excluded: %d, %v", m, err)
+	}
+	if _, err := r.FailoverFunc(0, excl(0, 1, 2)); err == nil {
+		t.Fatal("all replicas excluded should error")
+	}
+}
+
+func TestMigrationTarget(t *testing.T) {
+	r := &Replicas{Machines: [][]cluster.MachineID{{3, 1, 2}}}
+	avail := func(ok ...cluster.MachineID) func(cluster.MachineID) bool {
+		return func(m cluster.MachineID) bool {
+			for _, o := range ok {
+				if m == o {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	// Lowest-ID available replica holder wins (the copy is already local).
+	if m, err := r.MigrationTarget(0, 4, avail(1, 2, 3)); err != nil || m != 1 {
+		t.Fatalf("replica holders available: %d, %v", m, err)
+	}
+	if m, err := r.MigrationTarget(0, 4, avail(2, 3)); err != nil || m != 2 {
+		t.Fatalf("subset available: %d, %v", m, err)
+	}
+	// With no replica holder available, fall back to the lowest-ID available
+	// machine overall.
+	if m, err := r.MigrationTarget(0, 4, avail(0)); err != nil || m != 0 {
+		t.Fatalf("fallback: %d, %v", m, err)
+	}
+	if _, err := r.MigrationTarget(0, 4, avail()); err == nil {
+		t.Fatal("no available machine should error")
+	}
+}
+
+func TestPartBytesIndexedByPartID(t *testing.T) {
+	g := graph.FromEdges(8, [][2]graph.VertexID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}, {6, 7}, {7, 0},
+	})
+	pt, _ := partition.RecursiveBisect(g, 2, partition.Options{Seed: 1})
+	pg, err := Build(g, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := pg.PartBytes()
+	if len(pb) != len(pg.Parts) {
+		t.Fatalf("len = %d, want %d", len(pb), len(pg.Parts))
+	}
+	var sum int64
+	for p, b := range pb {
+		if b != pg.Parts[p].Bytes {
+			t.Fatalf("partition %d: %d != %d", p, b, pg.Parts[p].Bytes)
+		}
+		sum += b
+	}
+	if sum != pg.Bytes() {
+		t.Fatalf("sum %d != total %d", sum, pg.Bytes())
+	}
+}

@@ -167,7 +167,10 @@ func Summarize(events []Event) *Breakdown {
 			mb.TasksRun++
 		case KindTaskLost:
 			ensure().machine(ev.Machine).TasksLost++
-		case KindTransfer:
+		case KindTransfer, KindPartitionMigrate:
+			// Migration bytes are counted like transfers: they occupy the
+			// same NICs and sum into Metrics.NetworkBytes, so the
+			// egress/ingress reconciliation invariant holds on elastic runs.
 			sb := ensure()
 			src := sb.machine(ev.Machine)
 			dst := sb.machine(ev.Dst)

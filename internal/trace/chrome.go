@@ -202,6 +202,36 @@ func WriteChrome(w io.Writer, events []Event) error {
 				Pid: jobPid, Tid: 0, Ts: usec(ev.Time), Scope: "p",
 				Args: &chromeArgs{Bytes: ptrB(ev.Bytes), Job: ev.Job},
 			})
+		case KindMachineJoin:
+			out = append(out, chromeEvent{
+				Name: "machine-join", Ph: "i", Cat: "elastic",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "p",
+			})
+		case KindMachineDrain:
+			out = append(out, chromeEvent{
+				Name: "machine-drain", Ph: "i", Cat: "elastic",
+				Pid: ev.Machine, Tid: laneTasks, Ts: usec(ev.Time), Scope: "p",
+			})
+		case KindPartitionMigrate:
+			// Migrations occupy NICs like transfers; render both endpoints,
+			// labeled so drain traffic is distinguishable from app traffic.
+			args := &chromeArgs{
+				Bytes: ptrB(ev.Bytes), Src: ptrI(ev.Machine), Dst: ptrI(ev.Dst),
+				StallUs: ptrF(usec(ev.Stall)),
+			}
+			if ev.Part != None {
+				args.Part = ptrI(ev.Part)
+			}
+			dur := ptrF(usec(ev.End - ev.Start))
+			out = append(out,
+				chromeEvent{
+					Name: fmt.Sprintf("migrate→m%02d", ev.Dst), Ph: "X", Cat: "elastic",
+					Pid: ev.Machine, Tid: laneEgress, Ts: usec(ev.Start), Dur: dur, Args: args,
+				},
+				chromeEvent{
+					Name: fmt.Sprintf("migrate←m%02d", ev.Machine), Ph: "X", Cat: "elastic",
+					Pid: ev.Dst, Tid: laneIngress, Ts: usec(ev.Start), Dur: dur, Args: args,
+				})
 		}
 	}
 

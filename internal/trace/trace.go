@@ -77,6 +77,18 @@ const (
 	// KindJobRejected marks admission control refusing a job at arrival
 	// (queue over its limit); the job never runs.
 	KindJobRejected
+	// KindMachineJoin marks an elastic machine joining the cluster at Time:
+	// from here on it accepts migrated partitions, failovers and backups.
+	KindMachineJoin
+	// KindMachineDrain marks a machine beginning a graceful drain at Time;
+	// End carries the drain deadline. Its partitions migrate to survivors;
+	// if migration is still incomplete at End the machine dies (an ordinary
+	// failure event, caused by this drain).
+	KindMachineDrain
+	// KindPartitionMigrate is one live partition migration Machine -> Dst of
+	// Bytes bytes, NIC-serialized exactly like a transfer (Start..End busy,
+	// Stall queueing). Its Cause is the machine-drain that evicted it.
+	KindPartitionMigrate
 )
 
 func (k EventKind) String() string {
@@ -121,6 +133,12 @@ func (k EventKind) String() string {
 		return "job-resumed"
 	case KindJobRejected:
 		return "job-rejected"
+	case KindMachineJoin:
+		return "machine-join"
+	case KindMachineDrain:
+		return "machine-drain"
+	case KindPartitionMigrate:
+		return "partition-migrate"
 	default:
 		return "unknown"
 	}
