@@ -18,14 +18,24 @@ test -z "$(gofmt -l .)"
 for pkgs in ./internal/... ./cmd/... .; do
     go vet "$pkgs"
 done
+smoke=$(mktemp -d)
+trap 'rm -rf "$smoke"' EXIT
+
 # Determinism-contract static gate (docs/LINTS.md): wall-clock/entropy
-# calls, map-iteration order leaking into ordered output, concurrency
-# outside the engine pool, undocumented trace kinds. Exits nonzero on any
-# finding not carrying an audited //lint:allow pragma — before the race
-# gate, so contract violations fail faster than the tests that would
-# (sometimes) catch them dynamically.
-go run ./cmd/surfer-lint ./...
+# calls — direct or laundered through helper-package call chains (SL005) —
+# map-iteration order leaking into ordered output, concurrency outside the
+# engine pool, order-sensitive float folds, mutation of published CSR
+# views, and undocumented trace/blame/bench vocabulary. The -json run is
+# kept as a build artifact (the auditable suppression + baseline
+# inventory); its exit status is the gate: zero unsuppressed error-severity
+# findings, warn findings only if parked in lint-baseline.json. Runs
+# before the race gate, so contract violations fail faster than the tests
+# that would (sometimes) catch them dynamically.
+go run ./cmd/surfer-lint -json ./... > "$smoke/surfer-lint.json"
 go build ./...
+# Lint-engine self-test under the race detector: the analyzer that gates
+# everything else gets the same concurrency scrutiny as the engine.
+go test -race ./internal/lint
 # Fast fault-model gate: failover, transient faults, retry/backoff,
 # speculation, checkpoint rollback and the chaos soak (short mode) under
 # the race detector, before the full suite. TestNilScheduleHotPathAllocatesNothing
@@ -43,8 +53,6 @@ go test -race -short -run 'Elastic|Drain|Join|Migrat|Autoscale|Dormant|Retire' .
 go test -race -run 'Policy|Golden|Starvation|Inversion|Admission|Determinism|Fuzz' ./internal/jobsvc
 go test -race ./...
 
-smoke=$(mktemp -d)
-trap 'rm -rf "$smoke"' EXIT
 go run ./cmd/surfer-gen -kind social -vertices 4096 -seed 42 -out "$smoke/g.srfg"
 go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t3 \
     -machines 8 -levels 2 -trace "$smoke/trace.json" -events "$smoke/run.events"

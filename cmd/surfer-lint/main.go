@@ -1,21 +1,31 @@
 // Command surfer-lint enforces Surfer's determinism contract statically
-// (docs/LINTS.md): wall-clock and global-randomness calls, map-iteration
-// order leaking into ordered output, and concurrency outside the engine's
-// worker pool never reach a replay. It walks the repository's simulation
-// packages, reports findings as file:line:col: SLnnn: message, and exits
-// nonzero if any finding is not suppressed by a //lint:allow pragma.
+// (docs/LINTS.md): wall-clock and global-randomness calls — direct (SL001)
+// or laundered through any chain of helper packages (SL005, reported with
+// the full call chain) — map-iteration order leaking into ordered output,
+// concurrency outside the engine's worker pool, order-sensitive float
+// folds, mutation of published shared CSR views, and schema vocabulary
+// missing from docs/METRICS.md never reach a replay.
 //
 // Usage:
 //
-//	surfer-lint [-json] [packages]
+//	surfer-lint [-json|-sarif] [-baseline file] [-update-baseline] [packages]
 //
 // Packages default to ./... relative to the module root (found by walking
 // up from the working directory; overridable with -root, which is how the
 // known-bad corpus under internal/lint/testdata/src is linted on purpose).
-// -json emits every finding — suppressed
-// ones included, with "suppressed": true and the pragma reason — so the
-// suppression inventory is auditable; text mode prints only the findings
-// that fail the run.
+// A pattern that matches no Go files is an error (exit 2): an empty run
+// must not masquerade as a clean one.
+//
+// -json emits every finding — suppressed ones included, with
+// "suppressed": true and the pragma reason, and baselined warns with
+// "baselined": true — so the suppression inventory is auditable. -sarif
+// emits SARIF 2.1.0 for review tooling. Both outputs are byte-deterministic.
+//
+// The exit gate is lint.Failing: unsuppressed error-severity findings
+// always fail (exit 1); warn-severity findings fail unless parked in the
+// committed baseline (lint-baseline.json at the root, overridable with
+// -baseline). -update-baseline rewrites that file from the current run's
+// warn findings and exits 0.
 package main
 
 import (
@@ -29,10 +39,16 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as JSON (includes suppressed findings)")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (includes suppressed and baselined findings)")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	rootFlag := flag.String("root", "", "analyze this tree instead of the enclosing module")
+	baselineFlag := flag.String("baseline", "", "warn-findings baseline file (default <root>/lint-baseline.json)")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline from this run's warn findings and exit 0")
 	flag.Parse()
 
+	if *jsonOut && *sarifOut {
+		fatal(fmt.Errorf("surfer-lint: -json and -sarif are mutually exclusive"))
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -45,18 +61,42 @@ func main() {
 			fatal(err)
 		}
 	}
+	baselinePath := *baselineFlag
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "lint-baseline.json")
+	}
+
 	findings, err := lint.Run(lint.DefaultConfig(root), patterns)
 	if err != nil {
 		fatal(err)
 	}
-	failing := lint.Unsuppressed(findings)
 
-	if *jsonOut {
+	if *updateBaseline {
+		b := lint.BaselineFrom(findings)
+		if err := lint.WriteBaseline(baselinePath, b); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "surfer-lint: baseline %s rewritten with %d warn finding(s)\n",
+			baselinePath, len(b.Findings))
+		return
+	}
+
+	baseline, err := lint.LoadBaseline(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	lint.ApplyBaseline(findings, baseline)
+	failing := lint.Failing(findings)
+
+	switch {
+	case *jsonOut:
 		out := struct {
 			Findings     []lint.Finding `json:"findings"`
 			Total        int            `json:"total"`
 			Unsuppressed int            `json:"unsuppressed"`
-		}{Findings: findings, Total: len(findings), Unsuppressed: len(failing)}
+			Failing      int            `json:"failing"`
+		}{Findings: findings, Total: len(findings),
+			Unsuppressed: len(lint.Unsuppressed(findings)), Failing: len(failing)}
 		if out.Findings == nil {
 			out.Findings = []lint.Finding{}
 		}
@@ -65,17 +105,27 @@ func main() {
 		if err := enc.Encode(out); err != nil {
 			fatal(err)
 		}
-	} else {
+	case *sarifOut:
+		if err := lint.WriteSARIF(os.Stdout, findings); err != nil {
+			fatal(err)
+		}
+	default:
 		for _, f := range failing {
 			fmt.Println(f)
+			for _, frame := range f.Chain {
+				fmt.Printf("\t%s\n", frame)
+			}
 		}
-		if n := len(findings) - len(failing); n > 0 {
+		if n := len(findings) - len(lint.Unsuppressed(findings)); n > 0 {
 			fmt.Fprintf(os.Stderr, "surfer-lint: %d finding(s) suppressed by //lint:allow pragmas (run -json to audit)\n", n)
+		}
+		if n := len(lint.Unsuppressed(findings)) - len(failing); n > 0 {
+			fmt.Fprintf(os.Stderr, "surfer-lint: %d warn finding(s) parked in %s\n", n, baselinePath)
 		}
 	}
 	if len(failing) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "surfer-lint: %d unsuppressed finding(s)\n", len(failing))
+		if !*jsonOut && !*sarifOut {
+			fmt.Fprintf(os.Stderr, "surfer-lint: %d failing finding(s)\n", len(failing))
 		}
 		os.Exit(1)
 	}

@@ -12,6 +12,7 @@ package analyze
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/trace"
@@ -378,17 +379,20 @@ func stageLabels(events []trace.Event) []string {
 }
 
 // sortRows orders the blame rows chronologically (by first contributing
-// event), which is deterministic because Seq is.
+// event, Label as the tie-break). The previous insertion sort was stable,
+// so rows sharing a first-Seq kept map iteration order — the explicit
+// tie-break makes the order a pure function of the rows themselves.
 func sortRows(rows map[string]*StageBlame) []*StageBlame {
 	out := make([]*StageBlame, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, r)
 	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j].first < out[j-1].first; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].first != out[j].first {
+			return out[i].first < out[j].first
 		}
-	}
+		return out[i].Label < out[j].Label
+	})
 	return out
 }
 

@@ -78,9 +78,14 @@ func (mg *MachineGraph) Bisect() (*MachineGraph, *MachineGraph) {
 			if inA[m] {
 				continue
 			}
+			// Fold attraction in machine order, not map order: float
+			// addition is not associative, and bestGain ties must not
+			// depend on the runtime's map iteration.
 			var gain float64
-			for a := range inA {
-				gain += mg.Weight(m, a)
+			for _, a := range mg.machines {
+				if inA[a] {
+					gain += mg.Weight(m, a)
+				}
 			}
 			if gain > bestGain {
 				bestGain, pick = gain, m

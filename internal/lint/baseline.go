@@ -1,0 +1,113 @@
+// The warn-finding baseline: a committed inventory of accepted
+// warn-severity findings (lint-baseline.json) so a new heuristic check can
+// land at warn and existing debt burns down incrementally instead of
+// blocking every commit. Error-severity findings never baseline — the
+// contract checks fail the build, full stop.
+
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BaselineFormat identifies the file format.
+const BaselineFormat = "surfer-lint-baseline"
+
+// BaselineEntry identifies one accepted finding. Line numbers are omitted
+// on purpose: unrelated edits above a finding must not invalidate the
+// baseline, so the key is (check, file, message).
+type BaselineEntry struct {
+	ID      string `json:"id"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// Baseline is the committed accepted-findings inventory.
+type Baseline struct {
+	Format   string          `json:"format"`
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty baseline,
+// not an error — repos without debt simply do not commit one.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Format: BaselineFormat, Version: 1}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("surfer-lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("surfer-lint: baseline %s: %w", path, err)
+	}
+	if b.Format != BaselineFormat {
+		return nil, fmt.Errorf("surfer-lint: baseline %s: unexpected format %q", path, b.Format)
+	}
+	return &b, nil
+}
+
+// BaselineFrom builds the baseline covering the current run: every
+// unsuppressed warn-severity finding, sorted and deduplicated so the file
+// is byte-deterministic.
+func BaselineFrom(findings []Finding) *Baseline {
+	seen := map[BaselineEntry]bool{}
+	b := &Baseline{Format: BaselineFormat, Version: 1, Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		if f.Suppressed || SeverityOf(f.ID) != SeverityWarn {
+			continue
+		}
+		e := BaselineEntry{ID: f.ID, File: f.File, Message: f.Message}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.ID != c.ID {
+			return a.ID < c.ID
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline file, trailing newline included.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline marks every warn-severity finding matched by the baseline
+// as Baselined. Error-severity matches are ignored: promoting a check from
+// warn to error is exactly the moment its parked findings must surface.
+func ApplyBaseline(findings []Finding, b *Baseline) {
+	if b == nil || len(b.Findings) == 0 {
+		return
+	}
+	accepted := make(map[BaselineEntry]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		accepted[e] = true
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Severity != SeverityWarn {
+			continue
+		}
+		if accepted[BaselineEntry{ID: f.ID, File: f.File, Message: f.Message}] {
+			f.Baselined = true
+		}
+	}
+}

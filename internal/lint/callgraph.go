@@ -1,0 +1,323 @@
+// The whole-program call graph behind SL005. Every module package the
+// loader pulled in contributes its declared functions as nodes; edges are
+// statically resolved calls (direct calls and method calls through
+// concrete receivers — dynamic dispatch through interfaces is out of
+// scope and documented as such). A node is a sink carrier when its body
+// calls an entropy sink directly. SL005 then reports, for every
+// deterministic-tier function, each call edge that crosses out of the
+// deterministic tier into a function from which a sink is reachable —
+// with the full chain down to the sink, rendered like a stack trace.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// sinkFact is one direct entropy-sink call inside a function body.
+type sinkFact struct {
+	pos  token.Pos
+	desc string // canonical "time.Now", "os.Getenv", "rand.Intn"
+}
+
+// callFact is one statically resolved call to another module function.
+type callFact struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+// funcNode is one declared function in the loaded program.
+type funcNode struct {
+	fn      *types.Func
+	pkg     *pkgInfo
+	relFile string
+	declPos token.Pos
+	sinks   []sinkFact
+	calls   []callFact
+}
+
+// checkTransitiveEntropy is SL005. analyzed scopes where findings are
+// *reported* (the packages the patterns matched); the graph itself spans
+// every package the loader reached, so a chain through an unmatched helper
+// package is still followed to its sink.
+func checkTransitiveEntropy(prog *program, analyzed map[string]*pkgInfo) []Finding {
+	nodes := collectFuncNodes(prog)
+
+	// Reverse-propagate sink reachability (handles cycles without a
+	// recursion guard): seed with direct sink carriers, walk callers.
+	reaches := map[*types.Func]bool{}
+	callersOf := map[*types.Func][]*types.Func{}
+	for _, n := range nodes {
+		for _, c := range n.calls {
+			callersOf[c.callee] = append(callersOf[c.callee], n.fn)
+		}
+	}
+	var queue []*types.Func
+	for _, n := range nodes {
+		if len(n.sinks) > 0 && !reaches[n.fn] {
+			reaches[n.fn] = true
+			queue = append(queue, n.fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, caller := range callersOf[fn] {
+			if !reaches[caller] {
+				reaches[caller] = true
+				queue = append(queue, caller)
+			}
+		}
+	}
+
+	// Report at the laundering boundary: a deterministic-tier caller F with
+	// an edge to a non-deterministic-tier callee G that reaches a sink.
+	// Direct sinks inside F are SL001's finding; det→det edges are skipped
+	// so a chain is reported exactly once, where it leaves the tier.
+	var findings []Finding
+	rels := make([]string, 0, len(analyzed))
+	for rel := range analyzed {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		pi := analyzed[rel]
+		if pi.tier != tierDeterministic {
+			continue
+		}
+		for _, n := range nodesOfPkg(nodes, pi) {
+			if strings.HasSuffix(n.relFile, "_test.go") {
+				continue
+			}
+			for _, call := range n.calls {
+				callee := nodes[call.callee]
+				if callee == nil || callee.pkg.tier == tierDeterministic || !reaches[call.callee] {
+					continue
+				}
+				chain, sink := chainToSink(prog.fset, nodes, callee)
+				if sink == nil {
+					continue
+				}
+				p := prog.fset.Position(call.pos)
+				frames := []string{fmt.Sprintf("%s (%s:%d)", frameName(n.fn), n.relFile, p.Line)}
+				frames = append(frames, chain...)
+				findings = append(findings, Finding{
+					ID:   IDTransitive,
+					File: n.relFile,
+					Line: p.Line,
+					Col:  p.Column,
+					Message: fmt.Sprintf(
+						"call to %s transitively reaches entropy sink %s (%d frame chain); deterministic code must not depend on wall clock, environment or global rand",
+						frameName(call.callee), sink.desc, len(frames)+1),
+					Chain: append(frames, fmt.Sprintf("%s (%s)", sink.desc, sinkSite(prog.fset, nodes, sink))),
+				})
+			}
+		}
+	}
+	return findings
+}
+
+// chainToSink BFSes from start to the nearest node carrying a direct sink
+// and renders the intermediate frames "func (file:line)", where file:line
+// is the call site that takes the chain one step deeper. Edge order is AST
+// order, so ties break deterministically.
+func chainToSink(fset *token.FileSet, nodes map[*types.Func]*funcNode, start *funcNode) ([]string, *sinkFact) {
+	type hop struct {
+		node *funcNode
+		prev *hop
+		// via is the call fact in prev.node that reached node (nil at start).
+		via *callFact
+	}
+	seen := map[*types.Func]bool{start.fn: true}
+	queue := []*hop{{node: start}}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		if len(h.node.sinks) > 0 {
+			sink := &h.node.sinks[0]
+			// Walk back to the start, rendering each node with the position
+			// of the call it makes toward the sink.
+			var rev []*hop
+			for cur := h; cur != nil; cur = cur.prev {
+				rev = append(rev, cur)
+			}
+			var frames []string
+			for i := len(rev) - 1; i >= 0; i-- {
+				cur := rev[i]
+				var nextPos token.Pos
+				if i > 0 {
+					nextPos = rev[i-1].via.pos
+				} else {
+					nextPos = sink.pos
+				}
+				p := fset.Position(nextPos)
+				frames = append(frames, fmt.Sprintf("%s (%s:%d)", frameName(cur.node.fn), cur.node.relFile, p.Line))
+			}
+			return frames, sink
+		}
+		for i := range h.node.calls {
+			c := &h.node.calls[i]
+			next := nodes[c.callee]
+			if next == nil || seen[c.callee] {
+				continue
+			}
+			seen[c.callee] = true
+			queue = append(queue, &hop{node: next, prev: h, via: c})
+		}
+	}
+	return nil, nil
+}
+
+// nodesOfPkg returns pi's function nodes in declaration order, so the
+// findings stream is deterministic before the global sort.
+func nodesOfPkg(nodes map[*types.Func]*funcNode, pi *pkgInfo) []*funcNode {
+	var out []*funcNode
+	for _, n := range nodes {
+		if n.pkg == pi {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].declPos < out[j].declPos })
+	return out
+}
+
+// sinkSite renders the sink call's file:line. The sink lives in the last
+// chain node's file; scan nodes for the one owning the position.
+func sinkSite(fset *token.FileSet, nodes map[*types.Func]*funcNode, sink *sinkFact) string {
+	p := fset.Position(sink.pos)
+	for _, n := range nodes {
+		np := fset.Position(n.declPos)
+		if np.Filename == p.Filename {
+			return fmt.Sprintf("%s:%d", n.relFile, p.Line)
+		}
+	}
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}
+
+// frameName renders a function for chain frames: "pkg/path.Func" or
+// "(pkg/path.Recv).Method", with the module prefix stripped for brevity.
+func frameName(fn *types.Func) string {
+	name := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil {
+		if i := strings.Index(pkg.Path(), "/"); i >= 0 {
+			name = strings.ReplaceAll(name, pkg.Path()[:i+1], "")
+		}
+	}
+	return name
+}
+
+// collectFuncNodes walks every loaded module package and builds the node
+// set: declared functions, their direct sink calls, and their statically
+// resolved module-internal call edges. FuncLit bodies attribute to the
+// enclosing declaration — a closure reading the clock taints its owner.
+func collectFuncNodes(prog *program) map[*types.Func]*funcNode {
+	nodes := map[*types.Func]*funcNode{}
+	rels := make([]string, 0, len(prog.pkgs))
+	for rel := range prog.pkgs {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		pi := prog.pkgs[rel]
+		for fi, file := range pi.files {
+			ctx := &fileCtx{file: file, info: pi.info}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := pi.info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				n := &funcNode{fn: obj, pkg: pi, relFile: pi.relFiles[fi], declPos: fd.Name.Pos()}
+				ast.Inspect(fd.Body, func(node ast.Node) bool {
+					call, ok := node.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if desc, isSink := sinkCall(ctx, call); isSink {
+						n.sinks = append(n.sinks, sinkFact{pos: call.Pos(), desc: desc})
+						return true
+					}
+					if callee := calleeFunc(pi.info, call); callee != nil && moduleFunc(prog, callee) {
+						n.calls = append(n.calls, callFact{pos: call.Pos(), callee: callee})
+					}
+					return true
+				})
+				nodes[obj] = n
+			}
+		}
+	}
+	return nodes
+}
+
+// sinkCall reports whether call is a direct entropy sink, with a canonical
+// description ("time.Now") independent of import aliasing.
+func sinkCall(ctx *fileCtx, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	path := ctx.pkgPathOf(id)
+	hit := false
+	switch path {
+	case "time":
+		hit = forbiddenTime[sel.Sel.Name]
+	case "os":
+		hit = forbiddenOS[sel.Sel.Name]
+	case "math/rand", "math/rand/v2":
+		hit = !allowedRand[sel.Sel.Name]
+	}
+	if !hit {
+		return "", false
+	}
+	return pkgNameOf(path) + "." + sel.Sel.Name, true
+}
+
+// calleeFunc statically resolves a call expression's target function
+// object, or nil when the target is dynamic (interface method, func
+// value) or not a function at all (conversion, builtin).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			// Method call: concrete receivers resolve; interface methods
+			// stay dynamic and are skipped.
+			if f, ok := sel.Obj().(*types.Func); ok {
+				if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+					return f
+				}
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f // package-qualified call
+		}
+	}
+	return nil
+}
+
+// moduleFunc reports whether fn is declared in a package of this module —
+// the only nodes the graph tracks.
+func moduleFunc(prog *program, fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	_, ok := prog.relOfImportPath(pkg.Path())
+	return ok
+}

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -32,43 +33,50 @@ var allowedRand = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true,
 }
 
-// checkEntropy is SL001: calls to wall-clock, environment or
-// global-randomness functions. It resolves the file's imports so aliased
-// packages are caught and same-named locals are not.
-func checkEntropy(file *ast.File, add addFunc) {
-	imports := importNames(file)
-	ast.Inspect(file, func(n ast.Node) bool {
+// classifySink reports whether a call expression is an entropy sink —
+// wall clock, ambient environment, or the global rand source — resolving
+// the package qualifier through the type checker (aliases and shadowed
+// names handled exactly). The returned strings are the local qualifier as
+// written, the selector, and the SL001 message template.
+func classifySink(ctx *fileCtx, call *ast.CallExpr) (qual, name, format string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", "", false
+	}
+	pkg, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", "", false
+	}
+	switch ctx.pkgPathOf(pkg) {
+	case "time":
+		if forbiddenTime[sel.Sel.Name] {
+			return pkg.Name, sel.Sel.Name,
+				"call to %s.%s reads the wall clock; simulated time comes from the engine clock", true
+		}
+	case "os":
+		if forbiddenOS[sel.Sel.Name] {
+			return pkg.Name, sel.Sel.Name,
+				"call to %s.%s reads ambient process environment; plumb configuration through options", true
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRand[sel.Sel.Name] {
+			return pkg.Name, sel.Sel.Name,
+				"call to %s.%s draws from the global rand source; use a seeded, plumbed *rand.Rand", true
+		}
+	}
+	return "", "", "", false
+}
+
+// checkEntropy is SL001: direct calls to wall-clock, environment or
+// global-randomness functions.
+func checkEntropy(ctx *fileCtx) {
+	ast.Inspect(ctx.file, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
-			return true
-		}
-		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Obj != nil { // Obj != nil: a local, not the package
-			return true
-		}
-		switch imports[pkg.Name] {
-		case "time":
-			if forbiddenTime[sel.Sel.Name] {
-				add(call.Pos(), IDEntropy,
-					"call to %s.%s reads the wall clock; simulated time comes from the engine clock",
-					pkg.Name, sel.Sel.Name)
-			}
-		case "os":
-			if forbiddenOS[sel.Sel.Name] {
-				add(call.Pos(), IDEntropy,
-					"call to %s.%s reads ambient process environment; plumb configuration through options",
-					pkg.Name, sel.Sel.Name)
-			}
-		case "math/rand", "math/rand/v2":
-			if !allowedRand[sel.Sel.Name] {
-				add(call.Pos(), IDEntropy,
-					"call to %s.%s draws from the global rand source; use a seeded, plumbed *rand.Rand",
-					pkg.Name, sel.Sel.Name)
-			}
+		if qual, name, format, hit := classifySink(ctx, call); hit {
+			ctx.add(call.Pos(), IDEntropy, format, qual, name)
 		}
 		return true
 	})
@@ -78,15 +86,15 @@ func checkEntropy(file *ast.File, add addFunc) {
 // the sanctioned worker pool (internal/engine/parallel.go). Goroutine
 // scheduling order is nondeterministic; the contract allows concurrency
 // only behind Pool.ForEach's index-disjoint discipline.
-func checkConcurrency(file *ast.File, add addFunc) {
-	ast.Inspect(file, func(n ast.Node) bool {
+func checkConcurrency(ctx *fileCtx) {
+	ast.Inspect(ctx.file, func(n ast.Node) bool {
 		switch s := n.(type) {
 		case *ast.GoStmt:
-			add(s.Pos(), IDConcurrency,
+			ctx.add(s.Pos(), IDConcurrency,
 				"go statement outside the sanctioned worker pool; route parallel work through engine.Pool.ForEach")
 		case *ast.SelectStmt:
 			if len(s.Body.List) > 1 {
-				add(s.Pos(), IDConcurrency,
+				ctx.add(s.Pos(), IDConcurrency,
 					"multi-case select resolves by runtime scheduling order; deterministic code must not race channels")
 			}
 		}
@@ -100,8 +108,13 @@ func checkConcurrency(file *ast.File, add addFunc) {
 // runtime's randomized map iteration order. Appending keys and sorting
 // afterwards (the sortedKeys idiom) is the sanctioned fix: an append whose
 // target is passed to a sort call later in the same block is accepted.
-func checkMapRangeEmission(file *ast.File, add addFunc) {
-	for _, decl := range file.Decls {
+//
+// Map-ness is decided by the type checker, so struct fields, cross-package
+// accessors and every aliasing the v1 syntactic resolver had to skip are
+// now covered; the syntactic resolver remains as the fallback when type
+// information is incomplete (the known-bad corpus is linted on purpose).
+func checkMapRangeEmission(ctx *fileCtx) {
+	for _, decl := range ctx.file.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
 			continue
@@ -109,12 +122,12 @@ func checkMapRangeEmission(file *ast.File, add addFunc) {
 		inspectStmtLists(fn.Body, func(stmts []ast.Stmt) {
 			for i, st := range stmts {
 				rng, ok := st.(*ast.RangeStmt)
-				if !ok || !isMapExpr(rng.X, fn) {
+				if !ok || !ctx.isMapRange(rng, fn) {
 					continue
 				}
 				direct, appends := findEmissions(rng.Body)
 				for _, em := range direct {
-					add(em.pos, IDMapOrder,
+					ctx.add(em.pos, IDMapOrder,
 						"map iteration order is nondeterministic and this range body %s; emit in sorted key order",
 						em.what)
 				}
@@ -122,13 +135,23 @@ func checkMapRangeEmission(file *ast.File, add addFunc) {
 					if sortedAfter(stmts[i+1:], em.target) {
 						continue
 					}
-					add(em.pos, IDMapOrder,
+					ctx.add(em.pos, IDMapOrder,
 						"map iteration order is nondeterministic and this range body appends to %q, which is never sorted afterwards",
 						em.target)
 				}
 			}
 		})
 	}
+}
+
+// isMapRange decides whether a range statement iterates a map, typed
+// first, syntactic fallback second.
+func (ctx *fileCtx) isMapRange(rng *ast.RangeStmt, fn *ast.FuncDecl) bool {
+	if t := ctx.typeOf(rng.X); t != nil {
+		_, ok := t.Underlying().(*types.Map)
+		return ok
+	}
+	return isMapExpr(rng.X, fn)
 }
 
 // inspectStmtLists visits every statement list in a function body: blocks,
@@ -245,9 +268,7 @@ func mentionsIdent(exprs []ast.Expr, name string) bool {
 
 // isMapExpr decides syntactically whether expr has a map type, resolving
 // identifiers against parameters and local declarations of the enclosing
-// function. Unresolvable expressions (cross-package calls, struct fields)
-// return false: without go/types the check stays conservative and quiet
-// rather than guessing.
+// function — the pre-types fallback, kept for partial-information files.
 func isMapExpr(expr ast.Expr, fn *ast.FuncDecl) bool {
 	t := exprType(expr, fn, 0)
 	_, ok := t.(*ast.MapType)
@@ -337,21 +358,4 @@ func fieldType(fields *ast.FieldList, name string) ast.Expr {
 		}
 	}
 	return nil
-}
-
-// importNames maps each local package name of the file to its import path.
-func importNames(file *ast.File) map[string]string {
-	m := make(map[string]string, len(file.Imports))
-	for _, imp := range file.Imports {
-		path := strings.Trim(imp.Path.Value, `"`)
-		name := path[strings.LastIndex(path, "/")+1:]
-		if imp.Name != nil {
-			if imp.Name.Name == "_" || imp.Name.Name == "." {
-				continue
-			}
-			name = imp.Name.Name
-		}
-		m[name] = path
-	}
-	return m
 }

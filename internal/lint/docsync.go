@@ -62,10 +62,196 @@ func checkDocSync(cfg Config, fset *token.FileSet) ([]Finding, error) {
 					k.name, want, cfg.MetricsDoc),
 			})
 		}
-		suppress(fset, file, fileFindings)
+		suppressWith(fset, file, fileFindings)
 		findings = append(findings, fileFindings...)
 	}
 	return findings, nil
+}
+
+// checkSchemaSync is SL008, the SL004 idea generalized beyond trace kinds:
+// the analyze package's blame-category constants and the bench package's
+// surfer-bench/v1 report vocabulary (schema constant, metric and info map
+// keys written as string literals) must all appear in docs/METRICS.md —
+// backticked, the way the document spells field names — so downstream
+// dashboards never meet an undocumented field. Both packages are parsed
+// directly (not via the type-checking loader): the pass holds even when
+// the CLI pattern excludes them, mirroring SL004.
+func checkSchemaSync(cfg Config, prog *program) ([]Finding, error) {
+	docPath := filepath.Join(cfg.Root, filepath.FromSlash(cfg.MetricsDoc))
+	doc, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("surfer-lint: metrics doc: %w", err)
+	}
+	content := string(doc)
+	documented := func(word string) bool {
+		return strings.Contains(content, "`"+word+"`")
+	}
+
+	var findings []Finding
+	if cfg.AnalyzeDir != "" {
+		fs, err := schemaScanDir(cfg, prog, cfg.AnalyzeDir, func(file *ast.File, add func(pos token.Pos, format string, args ...any)) {
+			for _, c := range blameCategoryConsts(file) {
+				if !documented(c.value) {
+					add(c.pos, "blame category %s (%q) is not documented in %s", c.name, c.value, cfg.MetricsDoc)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	if cfg.BenchDir != "" {
+		fs, err := schemaScanDir(cfg, prog, cfg.BenchDir, func(file *ast.File, add func(pos token.Pos, format string, args ...any)) {
+			for _, k := range benchReportKeys(file) {
+				if !documented(k.value) {
+					add(k.pos, "bench report %s %q is not documented in %s", k.what, k.value, cfg.MetricsDoc)
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, fs...)
+	}
+	return findings, nil
+}
+
+// schemaScanDir parses one package directory, runs scan per file with a
+// position-aware adder, and applies that file's pragmas to its findings.
+func schemaScanDir(cfg Config, prog *program, rel string, scan func(*ast.File, func(pos token.Pos, format string, args ...any))) ([]Finding, error) {
+	dir := filepath.Join(cfg.Root, filepath.FromSlash(rel))
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, fmt.Errorf("surfer-lint: %s: %w", rel, err)
+	}
+	var findings []Finding
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(prog.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("surfer-lint: %w", err)
+		}
+		relFile := relSlash(cfg.Root, path)
+		var fileFindings []Finding
+		scan(file, func(pos token.Pos, format string, args ...any) {
+			p := prog.fset.Position(pos)
+			fileFindings = append(fileFindings, Finding{
+				ID:      IDSchemaSync,
+				File:    relFile,
+				Line:    p.Line,
+				Col:     p.Column,
+				Message: fmt.Sprintf(format, args...),
+			})
+		})
+		suppressWith(prog.fset, file, fileFindings)
+		findings = append(findings, fileFindings...)
+	}
+	return findings, nil
+}
+
+type schemaWord struct {
+	name  string // constant name, "" for map keys
+	what  string // "schema"/"metric key"/"info key" for bench words
+	value string
+	pos   token.Pos
+}
+
+// blameCategoryConsts extracts the analyze package's category vocabulary:
+// string constants whose name starts with "Cat".
+func blameCategoryConsts(file *ast.File) []schemaWord {
+	var words []schemaWord
+	for _, decl := range file.Decls {
+		gen, ok := decl.(*ast.GenDecl)
+		if !ok || gen.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gen.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, n := range vs.Names {
+				if !strings.HasPrefix(n.Name, "Cat") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				words = append(words, schemaWord{name: n.Name, value: v, pos: n.Pos()})
+			}
+		}
+	}
+	return words
+}
+
+// benchReportKeys extracts the bench package's report vocabulary: the
+// ReportSchema constant, every string key of a map[string]float64
+// composite literal, and every string-literal index on the left of an
+// assignment (metrics["x"] = v). Computed keys are out of scope — they
+// are not a fixed vocabulary the doc could enumerate.
+func benchReportKeys(file *ast.File) []schemaWord {
+	var words []schemaWord
+	addLit := func(lit *ast.BasicLit, what string) {
+		v, err := strconv.Unquote(lit.Value)
+		if err != nil || v == "" {
+			return
+		}
+		words = append(words, schemaWord{what: what, value: v, pos: lit.Pos()})
+	}
+	for _, decl := range file.Decls {
+		if gen, ok := decl.(*ast.GenDecl); ok && gen.Tok == token.CONST {
+			for _, spec := range gen.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, n := range vs.Names {
+					if n.Name != "ReportSchema" || i >= len(vs.Values) {
+						continue
+					}
+					if lit, ok := vs.Values[i].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+						addLit(lit, "schema")
+					}
+				}
+			}
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CompositeLit:
+			mt, ok := s.Type.(*ast.MapType)
+			if !ok || !typeNamed(mt.Key, "string") || !typeNamed(mt.Value, "float64") {
+				return true
+			}
+			for _, elt := range s.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if lit, ok := kv.Key.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					addLit(lit, "metric key")
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if lit, ok := idx.Index.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+					addLit(lit, "info key")
+				}
+			}
+		}
+		return true
+	})
+	return words
 }
 
 type kindConst struct {

@@ -1,43 +1,51 @@
-// Package lint is surfer-lint: a static analyzer that proves the
+// Package lint is surfer-lint v2: a static analyzer that proves the
 // determinism contract (DESIGN.md "Parallel execution & the determinism
 // contract") at review time instead of replay time. The engine's guarantee —
 // results and traces bit-identical across worker counts — holds only if
 // every source of nondeterminism is kept out of the deterministic packages:
 // wall clock, unseeded randomness, map iteration order feeding ordered
-// output, and ad-hoc concurrency outside the sanctioned worker pool. The
-// equivalence and chaos tests catch violations dynamically and late; this
-// analyzer catches the same classes syntactically, on every commit.
+// output, ad-hoc concurrency outside the sanctioned worker pool,
+// order-sensitive float folds, and mutation of published shared views.
 //
-// The analyzer is stdlib-only (go/parser, go/ast, go/token — no go/types,
-// no external modules) and therefore purely syntactic: it resolves local
-// declarations within a function to decide whether a range expression is a
-// map, and skips expressions it cannot resolve rather than guessing. Each
-// check has a stable ID (SL001..SL004, see docs/LINTS.md); a finding on a
-// legitimate line is suppressed explicitly with a
+// The analyzer is stdlib-only but no longer purely syntactic: it
+// type-checks every analyzed package with go/types, resolving stdlib
+// imports through go/importer's source importer and module-internal
+// imports by recursively loading them from the configured root. On top of
+// the typed packages it builds a whole-program call graph, so entropy
+// reads laundered through any number of helper packages (SL005) are
+// reported with their full call chain.
+//
+// Each check has a stable ID (SL000..SL008, see docs/LINTS.md) and a
+// severity (error or warn). A finding on a legitimate line is suppressed
+// explicitly with a
 //
 //	//lint:allow SLnnn reason
 //
-// pragma on the offending line or the line directly above it. The reason is
-// mandatory — a bare pragma suppresses nothing — so every suppression is
-// auditable.
+// pragma on the offending line or the line directly above it. The reason
+// is mandatory — a bare or malformed pragma is itself an error-severity
+// finding (SL000) — so every suppression is auditable. Warn-severity
+// findings can additionally be parked in a committed baseline file
+// (lint-baseline.json) and burned down incrementally.
 package lint
 
 import (
 	"fmt"
-	"go/ast"
-	"go/parser"
 	"go/token"
 	"os"
 	"path/filepath"
-	"regexp"
 	"sort"
 	"strings"
 )
 
-// Check IDs. Stable: tests, pragmas and docs refer to them by name.
+// Check IDs. Stable: tests, pragmas, baselines and docs refer to them by
+// name.
 const (
-	// IDEntropy is SL001: wall-clock / environment / global-randomness
-	// calls in simulation packages.
+	// IDPragma is SL000: a malformed //lint:allow pragma — missing or
+	// unknown check ID, or no reason. A bare pragma suppresses nothing and
+	// fails the build so silent dead suppressions cannot accumulate.
+	IDPragma = "SL000"
+	// IDEntropy is SL001: direct wall-clock / environment /
+	// global-randomness calls in simulation packages.
 	IDEntropy = "SL001"
 	// IDMapOrder is SL002: range over a map emitting into ordered output
 	// without a subsequent sort — the PR 1 nrMR.Map bug class.
@@ -48,37 +56,125 @@ const (
 	// IDDocSync is SL004: trace event-kind constants missing from
 	// docs/METRICS.md.
 	IDDocSync = "SL004"
+	// IDTransitive is SL005: a deterministic-package function whose call
+	// graph reaches a wall-clock/env/global-rand sink through any number
+	// of helper functions in other packages. Reported with the full chain.
+	IDTransitive = "SL005"
+	// IDFloatAccum is SL006: order-sensitive float accumulation — a
+	// float compound assignment inside a map range, or into a variable
+	// captured across Pool.ForEach worker goroutines. Float addition is
+	// not associative, so the fold's bits depend on visit order.
+	IDFloatAccum = "SL006"
+	// IDSharedView is SL007: mutation-after-publish of a shared read-only
+	// view (graph CSR Offsets/Targets slices, storage partition tables)
+	// outside the view's constructor package.
+	IDSharedView = "SL007"
+	// IDSchemaSync is SL008: analyze blame categories or surfer-bench/v1
+	// report fields missing from docs/METRICS.md — the SL004 idea
+	// generalized beyond trace kinds.
+	IDSchemaSync = "SL008"
 )
+
+// Severities.
+const (
+	SeverityError = "error"
+	SeverityWarn  = "warn"
+)
+
+// severities maps each check to its tier. SL006 is a heuristic (it cannot
+// prove two float folds collide), so it lands as warn and existing
+// findings can ride in the baseline; everything else is a contract
+// violation and fails the build outright.
+var severities = map[string]string{
+	IDPragma:      SeverityError,
+	IDEntropy:     SeverityError,
+	IDMapOrder:    SeverityError,
+	IDConcurrency: SeverityError,
+	IDDocSync:     SeverityError,
+	IDTransitive:  SeverityError,
+	IDFloatAccum:  SeverityWarn,
+	IDSharedView:  SeverityError,
+	IDSchemaSync:  SeverityError,
+}
+
+// SeverityOf returns a check's severity ("error" or "warn"); unknown IDs
+// are errors so nothing new can slip in quietly.
+func SeverityOf(id string) string {
+	if s, ok := severities[id]; ok {
+		return s
+	}
+	return SeverityError
+}
+
+// KnownCheck reports whether id names a check this analyzer runs — the
+// set a //lint:allow pragma may reference.
+func KnownCheck(id string) bool {
+	_, ok := severities[id]
+	return ok
+}
+
+// CheckIDs lists every check ID in order, for the SARIF rule catalogue
+// and the docs test.
+func CheckIDs() []string {
+	return []string{IDPragma, IDEntropy, IDMapOrder, IDConcurrency, IDDocSync,
+		IDTransitive, IDFloatAccum, IDSharedView, IDSchemaSync}
+}
 
 // Finding is one analyzer report. File is slash-separated and relative to
 // the configured root.
 type Finding struct {
-	ID         string `json:"id"`
-	File       string `json:"file"`
-	Line       int    `json:"line"`
-	Col        int    `json:"col"`
-	Message    string `json:"message"`
-	Suppressed bool   `json:"suppressed"`
+	ID       string `json:"id"`
+	Severity string `json:"severity"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+	// Chain is SL005's full call path, outermost frame first, each frame
+	// "func (file:line)"; the last frame is the entropy sink itself.
+	Chain      []string `json:"chain,omitempty"`
+	Suppressed bool     `json:"suppressed"`
 	// Reason is the pragma justification when Suppressed.
 	Reason string `json:"reason,omitempty"`
+	// Baselined marks a warn-severity finding matched by the committed
+	// baseline (ApplyBaseline): reported, but not failing.
+	Baselined bool `json:"baselined,omitempty"`
 }
 
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.ID, f.Message)
+	return fmt.Sprintf("%s:%d:%d: %s[%s]: %s", f.File, f.Line, f.Col, f.ID, f.Severity, f.Message)
+}
+
+// ViewSpec names a shared read-only view published by one package: method
+// results and struct fields that no code outside the owning package may
+// write through. SL007.
+type ViewSpec struct {
+	// Pkg is the owning package's slash-relative directory — its
+	// constructor set: writes inside it are the view being built.
+	Pkg string
+	// Type is the named type publishing the view.
+	Type string
+	// Methods are accessor methods whose returned slices are shared.
+	Methods []string
+	// Fields are exported slice fields that are shared views.
+	Fields []string
 }
 
 // Config scopes the analysis.
 type Config struct {
 	// Root is the module root; findings are reported relative to it.
 	Root string
+	// Module is the import-path prefix of packages under Root ("repro").
+	// Imports carrying it resolve to directories under Root; everything
+	// else resolves through go/importer.
+	Module string
 	// DeterministicDirs are slash-relative directory prefixes under Root
 	// holding the deterministic packages: the full contract (SL001, SL002,
-	// SL003) applies.
+	// SL003, SL005, SL006, SL007) applies.
 	DeterministicDirs []string
 	// SupportingDirs are prefixes for packages that feed the deterministic
 	// core seed-derived state (graphs, partitions, replicas, benchmarks):
-	// only the entropy check (SL001) applies — their outputs must be
-	// reproducible from seeds, but they run outside the event loop.
+	// their outputs must be reproducible from seeds, but they run outside
+	// the event loop, so only SL001, SL006 and SL007 apply.
 	SupportingDirs []string
 	// SanctionedConcurrency lists slash-relative files allowed to spawn
 	// goroutines and select: the engine's worker pool.
@@ -88,25 +184,37 @@ type Config struct {
 	// Either empty disables SL004.
 	TraceDir   string
 	MetricsDoc string
+	// AnalyzeDir and BenchDir are the packages whose blame-category
+	// constants and surfer-bench/v1 field inventories must appear in
+	// MetricsDoc (SL008). Either empty disables that half of the check.
+	AnalyzeDir string
+	BenchDir   string
+	// SharedViews are the published read-only views SL007 protects.
+	SharedViews []ViewSpec
 }
 
-// DefaultConfig returns the repository's real scoping: the eight
-// deterministic packages from DESIGN.md, the seed-driven supporting
-// packages, and the engine worker pool as the one sanctioned concurrency
-// site. cmd/ and examples/ are process-boundary drivers (flag parsing,
-// wall-clock progress output) and are not scanned.
+// DefaultConfig returns the repository's real scoping: the deterministic
+// packages from DESIGN.md (including the post-PR-4 additions
+// internal/jobsvc and internal/analyze — both are pure functions of their
+// seeded inputs whose outputs must be byte-identical), the seed-driven
+// supporting packages, and the engine worker pool as the one sanctioned
+// concurrency site. cmd/ and examples/ are process-boundary drivers (flag
+// parsing, wall-clock progress output) and are not scanned.
 func DefaultConfig(root string) Config {
 	return Config{
-		Root: root,
+		Root:   root,
+		Module: "repro",
 		DeterministicDirs: []string{
 			"internal/engine",
 			"internal/propagation",
 			"internal/mapreduce",
 			"internal/scheduler",
+			"internal/jobsvc",
 			"internal/cluster",
 			"internal/apps",
 			"internal/fault",
 			"internal/trace",
+			"internal/analyze",
 		},
 		SupportingDirs: []string{
 			"internal/graph",
@@ -120,6 +228,12 @@ func DefaultConfig(root string) Config {
 		SanctionedConcurrency: []string{"internal/engine/parallel.go"},
 		TraceDir:              "internal/trace",
 		MetricsDoc:            "docs/METRICS.md",
+		AnalyzeDir:            "internal/analyze",
+		BenchDir:              "internal/bench",
+		SharedViews: []ViewSpec{
+			{Pkg: "internal/graph", Type: "Graph", Methods: []string{"Offsets", "Targets"}},
+			{Pkg: "internal/storage", Type: "PartInfo", Fields: []string{"Vertices", "CrossDst"}},
+		},
 	}
 }
 
@@ -147,44 +261,106 @@ func (c *Config) tierOf(relDir string) tier {
 }
 
 // Run analyzes the packages matched by patterns under cfg.Root and returns
-// all findings (suppressed ones included, flagged), sorted by position.
-// Patterns are slash-relative to Root: "./..." (or "...") walks everything,
-// "dir/..." walks a subtree, a plain directory analyzes that one package.
+// all findings (suppressed and baselined ones included, flagged), sorted
+// by position and deduplicated. Patterns are slash-relative to Root:
+// "./..." (or "...") walks everything, "dir/..." walks a subtree, a plain
+// directory analyzes that one package. A pattern that matches no Go files
+// at all is an error — an empty run must not masquerade as a clean one.
 func Run(cfg Config, patterns []string) ([]Finding, error) {
-	dirs, err := expandPatterns(cfg.Root, patterns)
+	perPattern, err := expandPatterns(cfg.Root, patterns)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
-	var findings []Finding
-	for _, dir := range dirs {
-		rel := relSlash(cfg.Root, dir)
-		t := cfg.tierOf(rel)
-		if t == tierExempt {
-			continue
-		}
-		names, err := goSources(dir)
-		if err != nil {
-			return nil, err
-		}
-		for _, name := range names {
-			path := filepath.Join(dir, name)
-			file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-			if err != nil {
-				return nil, fmt.Errorf("surfer-lint: %w", err)
+	prog := newProgram(&cfg)
+
+	// Load every matched, non-exempt package. Dependencies inside the
+	// module load transitively through the importer, so the call graph is
+	// whole-program even when the pattern selects a subtree.
+	analyzed := map[string]*pkgInfo{}
+	for _, pp := range perPattern {
+		matchedFiles := 0
+		for _, dir := range pp.dirs {
+			names, err := goSources(dir)
+			if os.IsNotExist(err) {
+				continue // missing directory: zero matches for this pattern
 			}
-			relFile := relSlash(cfg.Root, path)
-			fileFindings := analyzeFile(fset, file, relFile, t, cfg.sanctioned(relFile))
-			suppress(fset, file, fileFindings)
-			findings = append(findings, fileFindings...)
+			if err != nil {
+				return nil, err
+			}
+			matchedFiles += len(names)
+			rel := relSlash(cfg.Root, dir)
+			if cfg.tierOf(rel) == tierExempt || len(names) == 0 {
+				continue
+			}
+			if _, ok := analyzed[rel]; ok {
+				continue
+			}
+			pi, err := prog.loadRel(rel)
+			if err != nil {
+				return nil, err
+			}
+			analyzed[rel] = pi
+		}
+		if matchedFiles == 0 {
+			return nil, fmt.Errorf("surfer-lint: pattern %q matched no Go files", pp.pattern)
 		}
 	}
+
+	var findings []Finding
+	rels := make([]string, 0, len(analyzed))
+	for rel := range analyzed {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		pi := analyzed[rel]
+		for i, file := range pi.files {
+			findings = append(findings, analyzeFile(&fileCtx{
+				cfg:        &cfg,
+				fset:       prog.fset,
+				file:       file,
+				info:       pi.info,
+				pkgRel:     pi.rel,
+				relFile:    pi.relFiles[i],
+				tier:       pi.tier,
+				sanctioned: cfg.sanctioned(pi.relFiles[i]),
+			})...)
+		}
+	}
+
+	// Whole-program pass: SL005 transitive entropy over the call graph of
+	// everything the loader pulled in.
+	findings = append(findings, checkTransitiveEntropy(prog, analyzed)...)
+
+	// Doc-sync passes parse their target packages directly, so they hold
+	// even when the pattern excludes them.
 	if cfg.TraceDir != "" && cfg.MetricsDoc != "" {
-		docFindings, err := checkDocSync(cfg, fset)
+		docFindings, err := checkDocSync(cfg, prog.fset)
 		if err != nil {
 			return nil, err
 		}
 		findings = append(findings, docFindings...)
+	}
+	if cfg.MetricsDoc != "" && (cfg.AnalyzeDir != "" || cfg.BenchDir != "") {
+		schemaFindings, err := checkSchemaSync(cfg, prog)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, schemaFindings...)
+	}
+
+	// Pragma audit (SL000) and suppression, over every analyzed file.
+	for _, rel := range rels {
+		pi := analyzed[rel]
+		for i, file := range pi.files {
+			pragmas := filePragmas(prog.fset, file)
+			findings = append(findings, pragmaFindings(pi.relFiles[i], pragmas)...)
+		}
+	}
+	suppressAll(prog, analyzed, findings)
+
+	for i := range findings {
+		findings[i].Severity = SeverityOf(findings[i].ID)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -197,18 +373,62 @@ func Run(cfg Config, patterns []string) ([]Finding, error) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		return a.ID < b.ID
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
+	return Dedup(findings), nil
 }
 
-// Unsuppressed filters to the findings that fail the build.
+// Dedup removes exact duplicates — same check, position and message —
+// keeping the first occurrence and the input order. Overlapping passes
+// (e.g. nested map ranges both claiming one accumulation) may report the
+// same defect once each; the stream the CLI and goldens see carries it
+// once.
+func Dedup(findings []Finding) []Finding {
+	type key struct {
+		id, file, msg string
+		line, col     int
+	}
+	seen := make(map[key]bool, len(findings))
+	out := findings[:0:0]
+	for _, f := range findings {
+		k := key{f.ID, f.File, f.Message, f.Line, f.Col}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, f)
+	}
+	return out
+}
+
+// Unsuppressed filters to the findings not covered by a //lint:allow
+// pragma (baselined warns included — see Failing for the exit gate).
 func Unsuppressed(all []Finding) []Finding {
 	var out []Finding
 	for _, f := range all {
 		if !f.Suppressed {
 			out = append(out, f)
 		}
+	}
+	return out
+}
+
+// Failing filters to the findings that fail the build: unsuppressed
+// error-severity findings, plus unsuppressed warn-severity findings not
+// parked in the baseline. This is the CLI's exit-status predicate.
+func Failing(all []Finding) []Finding {
+	var out []Finding
+	for _, f := range all {
+		if f.Suppressed {
+			continue
+		}
+		if f.Severity == SeverityWarn && f.Baselined {
+			continue
+		}
+		out = append(out, f)
 	}
 	return out
 }
@@ -226,94 +446,56 @@ func (c *Config) sanctioned(relFile string) bool {
 // are exempt from the whole contract: they may time, randomize and spawn
 // freely (the determinism suite itself races worker pools against each
 // other).
-func analyzeFile(fset *token.FileSet, file *ast.File, relFile string, t tier, sanctioned bool) []Finding {
-	if strings.HasSuffix(relFile, "_test.go") {
+func analyzeFile(ctx *fileCtx) []Finding {
+	if strings.HasSuffix(ctx.relFile, "_test.go") {
 		return nil
 	}
 	var findings []Finding
-	add := func(pos token.Pos, id, format string, args ...any) {
-		p := fset.Position(pos)
+	ctx.add = func(pos token.Pos, id, format string, args ...any) {
+		p := ctx.fset.Position(pos)
 		findings = append(findings, Finding{
 			ID:      id,
-			File:    relFile,
+			File:    ctx.relFile,
 			Line:    p.Line,
 			Col:     p.Column,
 			Message: fmt.Sprintf(format, args...),
 		})
 	}
-	checkEntropy(file, add)
-	if t == tierDeterministic {
-		checkMapRangeEmission(file, add)
-		if !sanctioned {
-			checkConcurrency(file, add)
+	checkEntropy(ctx)
+	checkFloatAccum(ctx)
+	checkSharedViews(ctx)
+	if ctx.tier == tierDeterministic {
+		checkMapRangeEmission(ctx)
+		if !ctx.sanctioned {
+			checkConcurrency(ctx)
 		}
 	}
 	return findings
 }
 
-// pragmaRE matches //lint:allow SLnnn reason — the reason is mandatory, so
-// suppressions are self-documenting.
-var pragmaRE = regexp.MustCompile(`^//lint:allow\s+(SL\d{3})\s+(\S.*)$`)
-
-// suppress marks findings covered by a pragma on the same line or the line
-// directly above.
-func suppress(fset *token.FileSet, file *ast.File, findings []Finding) {
-	type allow struct {
-		id     string
-		reason string
-	}
-	byLine := map[int][]allow{}
-	for _, group := range file.Comments {
-		for _, c := range group.List {
-			m := pragmaRE.FindStringSubmatch(c.Text)
-			if m == nil {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			byLine[line] = append(byLine[line], allow{id: m[1], reason: strings.TrimSpace(m[2])})
-		}
-	}
-	if len(byLine) == 0 {
-		return
-	}
-	for i := range findings {
-		for _, line := range []int{findings[i].Line, findings[i].Line - 1} {
-			for _, a := range byLine[line] {
-				if a.id == findings[i].ID {
-					findings[i].Suppressed = true
-					findings[i].Reason = a.reason
-				}
-			}
-		}
-	}
+// patternDirs is one CLI pattern with the directories it matched.
+type patternDirs struct {
+	pattern string
+	dirs    []string
 }
 
 // expandPatterns resolves CLI package patterns to directories containing Go
-// sources. testdata and hidden directories are never walked.
-func expandPatterns(root string, patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	addTree := func(base string) error {
-		return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
-				return filepath.SkipDir
-			}
-			if !seen[path] {
-				seen[path] = true
-				dirs = append(dirs, path)
-			}
-			return nil
-		})
-	}
+// sources, per pattern. testdata and hidden directories are never walked.
+func expandPatterns(root string, patterns []string) ([]patternDirs, error) {
+	var out []patternDirs
 	for _, pat := range patterns {
+		orig := pat
 		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		seen := map[string]bool{}
+		var dirs []string
+		addTree := func(base string) error {
+			return walkGoDirs(base, func(path string) {
+				if !seen[path] {
+					seen[path] = true
+					dirs = append(dirs, path)
+				}
+			})
+		}
 		switch {
 		case pat == "..." || pat == "":
 			if err := addTree(root); err != nil {
@@ -324,33 +506,12 @@ func expandPatterns(root string, patterns []string) ([]string, error) {
 				return nil, err
 			}
 		default:
-			dir := filepath.Join(root, pat)
-			if !seen[dir] {
-				seen[dir] = true
-				dirs = append(dirs, dir)
-			}
+			dirs = append(dirs, filepath.Join(root, pat))
 		}
+		sort.Strings(dirs)
+		out = append(out, patternDirs{pattern: orig, dirs: dirs})
 	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-// goSources lists the non-test .go files of one directory, sorted.
-func goSources(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names, nil
+	return out, nil
 }
 
 func relSlash(root, path string) string {

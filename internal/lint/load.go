@@ -1,0 +1,293 @@
+// Whole-program package loader: parses and type-checks every analyzed
+// package (and, transitively, every module-internal package it imports)
+// into one shared token.FileSet, so the per-file checks see resolved types
+// and the call-graph pass sees one object identity per function.
+//
+// Import resolution is two-headed: paths under Config.Module map to
+// directories under Config.Root and are loaded recursively from source;
+// everything else goes through go/importer's source importer (stdlib from
+// GOROOT). If the source importer is unavailable — stripped containers —
+// the loader degrades to empty stub packages and the checks fall back to
+// their syntactic resolution, staying conservative instead of failing.
+
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// pkgInfo is one loaded module package.
+type pkgInfo struct {
+	rel      string // slash-relative directory under Root ("." = root pkg)
+	tier     tier
+	files    []*ast.File
+	relFiles []string // parallel to files
+	pkg      *types.Package
+	info     *types.Info
+}
+
+// program holds the loader state shared by one Run.
+type program struct {
+	cfg  *Config
+	fset *token.FileSet
+	pkgs map[string]*pkgInfo // by rel dir
+
+	loading  map[string]bool
+	std      types.Importer // go/importer source importer, nil after failure
+	stdOnce  bool
+	stdStubs map[string]*types.Package
+}
+
+func newProgram(cfg *Config) *program {
+	return &program{
+		cfg:      cfg,
+		fset:     token.NewFileSet(),
+		pkgs:     map[string]*pkgInfo{},
+		loading:  map[string]bool{},
+		stdStubs: map[string]*types.Package{},
+	}
+}
+
+// loadRel parses and type-checks the module package in the slash-relative
+// directory rel, memoized. Type errors do not abort the load: the checks
+// are conservative under partial information, and the known-bad fixture
+// corpus is linted on purpose.
+func (p *program) loadRel(rel string) (*pkgInfo, error) {
+	if pi, ok := p.pkgs[rel]; ok {
+		return pi, nil
+	}
+	if p.loading[rel] {
+		return nil, fmt.Errorf("surfer-lint: import cycle through %s", rel)
+	}
+	p.loading[rel] = true
+	defer delete(p.loading, rel)
+
+	dir := filepath.Join(p.cfg.Root, filepath.FromSlash(rel))
+	names, err := goSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{rel: rel, tier: p.cfg.tierOf(rel)}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(p.fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("surfer-lint: %w", err)
+		}
+		pi.files = append(pi.files, file)
+		pi.relFiles = append(pi.relFiles, relSlash(p.cfg.Root, path))
+	}
+	pi.info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: (*progImporter)(p),
+		Error:    func(error) {}, // collect nothing, continue past errors
+	}
+	// Check returns the (possibly incomplete) package even on error; with
+	// the Error hook set it keeps going, which is exactly what linting a
+	// known-bad corpus needs.
+	pi.pkg, _ = conf.Check(p.importPath(rel), p.fset, pi.files, pi.info)
+	p.pkgs[rel] = pi
+	return pi, nil
+}
+
+// importPath is the module import path of a relative directory.
+func (p *program) importPath(rel string) string {
+	if rel == "." || rel == "" {
+		return p.cfg.Module
+	}
+	return p.cfg.Module + "/" + rel
+}
+
+// relOfImportPath inverts importPath; ok is false for paths outside the
+// module.
+func (p *program) relOfImportPath(path string) (string, bool) {
+	if path == p.cfg.Module {
+		return ".", true
+	}
+	if rest, ok := strings.CutPrefix(path, p.cfg.Module+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// progImporter adapts program to types.Importer.
+type progImporter program
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	p := (*program)(im)
+	if rel, ok := p.relOfImportPath(path); ok {
+		pi, err := p.loadRel(rel)
+		if err != nil {
+			return nil, err
+		}
+		return pi.pkg, nil
+	}
+	return p.stdPkg(path)
+}
+
+// stdPkg resolves a non-module import, preferring real types from the
+// go/importer source importer and degrading to a named empty stub.
+func (p *program) stdPkg(path string) (*types.Package, error) {
+	if pkg, ok := p.stdStubs[path]; ok {
+		return pkg, nil
+	}
+	if !p.stdOnce {
+		p.stdOnce = true
+		p.std = importer.ForCompiler(p.fset, "source", nil)
+	}
+	if p.std != nil {
+		if pkg, err := p.std.Import(path); err == nil {
+			p.stdStubs[path] = pkg
+			return pkg, nil
+		}
+	}
+	pkg := types.NewPackage(path, pkgNameOf(path))
+	pkg.MarkComplete()
+	p.stdStubs[path] = pkg
+	return pkg, nil
+}
+
+var versionElem = regexp.MustCompile(`^v\d+$`)
+
+// pkgNameOf guesses a package name from its import path ("math/rand/v2"
+// is package rand).
+func pkgNameOf(path string) string {
+	elems := strings.Split(path, "/")
+	name := elems[len(elems)-1]
+	if versionElem.MatchString(name) && len(elems) > 1 {
+		name = elems[len(elems)-2]
+	}
+	return name
+}
+
+// fileCtx is the per-file checking context handed to each check.
+type fileCtx struct {
+	cfg        *Config
+	fset       *token.FileSet
+	file       *ast.File
+	info       *types.Info
+	pkgRel     string
+	relFile    string
+	tier       tier
+	sanctioned bool
+	add        addFunc
+
+	importsOnce map[string]string // lazy syntactic fallback
+}
+
+// pkgPathOf resolves an identifier used as a package qualifier to its
+// import path, or "" if it names anything else. Type-resolved when
+// possible (aliases and shadowing handled exactly), syntactic fallback
+// otherwise.
+func (ctx *fileCtx) pkgPathOf(id *ast.Ident) string {
+	if ctx.info != nil {
+		if obj, ok := ctx.info.Uses[id]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // resolved to a local, field, func, ...
+		}
+	}
+	if id.Obj != nil {
+		return ""
+	}
+	if ctx.importsOnce == nil {
+		ctx.importsOnce = importNames(ctx.file)
+	}
+	return ctx.importsOnce[id.Name]
+}
+
+// typeOf returns the resolved type of an expression, or nil.
+func (ctx *fileCtx) typeOf(e ast.Expr) types.Type {
+	if ctx.info == nil {
+		return nil
+	}
+	t := ctx.info.TypeOf(e)
+	if t == nil || t == types.Typ[types.Invalid] {
+		return nil
+	}
+	return t
+}
+
+// isFloat reports whether t's core type is a floating-point scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// walkGoDirs calls fn for every directory under base, skipping hidden,
+// underscore and testdata subtrees.
+func walkGoDirs(base string, fn func(path string)) error {
+	if _, err := os.Stat(base); os.IsNotExist(err) {
+		return nil // no such subtree: zero matches, Run reports the pattern
+	}
+	return filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		fn(path)
+		return nil
+	})
+}
+
+// goSources lists the non-test .go files of one directory, sorted.
+func goSources(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// importNames maps each local package name of the file to its import path
+// (the syntactic fallback when type information is unavailable).
+func importNames(file *ast.File) map[string]string {
+	m := make(map[string]string, len(file.Imports))
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				continue
+			}
+			name = imp.Name.Name
+		}
+		m[name] = path
+	}
+	return m
+}

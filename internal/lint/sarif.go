@@ -1,0 +1,137 @@
+// SARIF 2.1.0 output, for code-review tooling that ingests the standard
+// format. The document is built from fixed structs and emitted with
+// json.MarshalIndent, so two runs over the same tree produce byte-identical
+// files — the same determinism bar the analyzer holds everyone else to.
+
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"strings"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	DefaultLevel     struct {
+		Level string `json:"level"`
+	} `json:"defaultConfiguration"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	Level        string             `json:"level"`
+	Message      sarifMessage       `json:"message"`
+	Locations    []sarifLocation    `json:"locations"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+	Properties   map[string]bool    `json:"properties,omitempty"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation struct {
+		ArtifactLocation struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// ruleSummaries is the one-line catalogue entry per check.
+var ruleSummaries = map[string]string{
+	IDPragma:      "malformed //lint:allow pragma",
+	IDEntropy:     "direct wall-clock, environment or global-rand call",
+	IDMapOrder:    "map iteration order feeding ordered output",
+	IDConcurrency: "concurrency outside the sanctioned worker pool",
+	IDDocSync:     "trace event kind missing from docs/METRICS.md",
+	IDTransitive:  "transitive entropy reach through helper packages",
+	IDFloatAccum:  "order-sensitive float accumulation",
+	IDSharedView:  "mutation of a published shared view",
+	IDSchemaSync:  "blame-category or bench-schema vocabulary missing from docs/METRICS.md",
+}
+
+func sarifLevel(severity string) string {
+	if severity == SeverityWarn {
+		return "warning"
+	}
+	return "error"
+}
+
+// WriteSARIF emits all findings (suppressed ones carried as SARIF
+// suppressions, baselined ones flagged in properties) as one SARIF run.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	var rules []sarifRule
+	for _, id := range CheckIDs() {
+		r := sarifRule{ID: id, ShortDescription: sarifMessage{Text: ruleSummaries[id]}}
+		r.DefaultLevel.Level = sarifLevel(SeverityOf(id))
+		rules = append(rules, r)
+	}
+	results := []sarifResult{}
+	for _, f := range findings {
+		text := f.Message
+		if len(f.Chain) > 0 {
+			text += " [chain: " + strings.Join(f.Chain, " -> ") + "]"
+		}
+		res := sarifResult{
+			RuleID:  f.ID,
+			Level:   sarifLevel(f.Severity),
+			Message: sarifMessage{Text: text},
+		}
+		var loc sarifLocation
+		loc.PhysicalLocation.ArtifactLocation.URI = f.File
+		loc.PhysicalLocation.Region.StartLine = f.Line
+		loc.PhysicalLocation.Region.StartColumn = f.Col
+		res.Locations = []sarifLocation{loc}
+		if f.Suppressed {
+			res.Suppressions = []sarifSuppression{{Kind: "inSource", Justification: f.Reason}}
+		}
+		if f.Baselined {
+			res.Properties = map[string]bool{"baselined": true}
+		}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "surfer-lint", InformationURI: "docs/LINTS.md", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

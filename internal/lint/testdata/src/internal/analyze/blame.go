@@ -1,0 +1,20 @@
+// Package analyze fixture: SL008 blame-category doc-sync plus the
+// deterministic-tier pin for internal/analyze (flush's map-range emission
+// is SL002, which only fires in the deterministic tier — if the package
+// were ever demoted, that golden line disappears and the tier test fails).
+package analyze
+
+const (
+	// CatCPU is documented (backticked) in the fixture METRICS.md.
+	CatCPU = "cpu-bound"
+	// CatSpill is not documented: SL008.
+	CatSpill = "spill-bound"
+	// CatQueue is undocumented but suppressed: the SL008 pragma case.
+	CatQueue = "queue-bound" //lint:allow SL008 fixture: taxonomy section rewrite pending, tracked in docs backlog
+)
+
+func flush(counts map[string]int, emit func(string, int)) {
+	for k, v := range counts {
+		emit(k, v)
+	}
+}

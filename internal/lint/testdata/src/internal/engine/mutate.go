@@ -1,0 +1,40 @@
+// Package engine fixture: SL007 mutation-after-publish. Every write here
+// goes through a shared view published by another package — directly, via
+// a tainted alias, via a re-slice, by copy, by append, and by field
+// reassignment. scratch shows the sanctioned pattern (copy out, then
+// mutate the private copy); allowed is the suppressed-SL007 corpus case.
+package engine
+
+import (
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+func compact(g *graph.Graph) {
+	off := g.Offsets()
+	off[0] = 0
+	g.Targets()[1] = 0
+	head := off[:2]
+	head[1] = 4
+}
+
+func patch(pi *storage.PartInfo, extra []graph.VertexID) {
+	pi.Vertices[0] = 0
+	pi.CrossDst = nil
+	copy(pi.Vertices, extra)
+	pi.CrossDst = append(pi.CrossDst, extra...)
+}
+
+// scratch copies out of the view and mutates its own slice: no findings.
+func scratch(g *graph.Graph) []int64 {
+	off := g.Offsets()
+	tmp := make([]int64, len(off))
+	copy(tmp, off)
+	tmp[0] = 1
+	return tmp
+}
+
+func allowed(g *graph.Graph) {
+	//lint:allow SL007 fixture: relabel pass blessed by the owner, runs before publication
+	g.Offsets()[0] = 0
+}

@@ -1,0 +1,18 @@
+// Package engine fixture: SL005 transitive entropy. tick never touches
+// time itself — it calls graph.Stamp, which calls loadStamp, which reads
+// the wall clock (under a suppressed SL001, proving suppressed sinks still
+// propagate). The finding lands here, at the call that leaves the
+// deterministic tier, with the full chain attached. tickAllowed is the
+// suppressed-SL005 corpus case.
+package engine
+
+import "repro/internal/graph"
+
+func tick() int64 {
+	return graph.Stamp()
+}
+
+func tickAllowed() int64 {
+	//lint:allow SL005 fixture: startup banner stamp, reviewed as non-simulation state
+	return graph.Stamp()
+}

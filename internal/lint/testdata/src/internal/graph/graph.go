@@ -1,0 +1,23 @@
+// Package graph fixture: the shared-CSR-view owner for SL007. Offsets and
+// Targets publish the backing arrays; writes here, inside the constructor
+// set, are the view being built and must not be flagged.
+package graph
+
+type VertexID uint32
+
+type Graph struct {
+	offsets []int64
+	targets []VertexID
+}
+
+func (g *Graph) Offsets() []int64    { return g.offsets }
+func (g *Graph) Targets() []VertexID { return g.targets }
+
+// Build writes the views inside the owner package: no SL007.
+func Build(n int) *Graph {
+	g := &Graph{offsets: make([]int64, n+1), targets: make([]VertexID, 0, n)}
+	for i := range g.offsets {
+		g.offsets[i] = 0
+	}
+	return g
+}

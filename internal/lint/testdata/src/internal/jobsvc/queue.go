@@ -1,0 +1,9 @@
+// Package jobsvc fixture: pins internal/jobsvc to the deterministic tier.
+// dispatch's go statement is SL003, which only fires in that tier — the
+// golden line is the fixture proof the tier table covers the post-PR-4
+// package (the laundering hole this corpus exists to close).
+package jobsvc
+
+func dispatch(work func(int)) {
+	go work(0)
+}

@@ -1,0 +1,20 @@
+// Package storage fixture: owner of the PartInfo flat tables SL007
+// protects as shared views. Construction writes here are exempt.
+package storage
+
+import "repro/internal/graph"
+
+type PartInfo struct {
+	Vertices []graph.VertexID
+	CrossDst []graph.VertexID
+}
+
+// NewPartInfo builds the tables inside the owner package: no SL007.
+func NewPartInfo(n int) *PartInfo {
+	pi := &PartInfo{Vertices: make([]graph.VertexID, n)}
+	for i := range pi.Vertices {
+		pi.Vertices[i] = graph.VertexID(i)
+	}
+	pi.CrossDst = nil
+	return pi
+}

@@ -1,0 +1,227 @@
+// SL007: mutation-after-publish of shared read-only views. The CSR fast
+// path hands callers the engine's own backing arrays (graph.Offsets /
+// graph.Targets) and the storage layer publishes flat partition tables
+// (PartInfo.Vertices / PartInfo.CrossDst); every consumer shares one copy,
+// so a single write corrupts every replica and every later job on the
+// machine. The owning package — the constructor set — may write while
+// building; everybody else gets a types-resolved taint pass: values
+// obtained from a view accessor or field (directly, via aliasing, or via
+// re-slicing) must never appear on the left of an element write, a copy
+// destination, an append, or a field reassignment.
+
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// viewRef describes how an expression touches a configured shared view.
+type viewRef struct {
+	spec *ViewSpec
+	name string // "graph.Graph.Offsets()" / "storage.PartInfo.Vertices"
+}
+
+func checkSharedViews(ctx *fileCtx) {
+	specs := ctx.activeViewSpecs()
+	if len(specs) == 0 || ctx.info == nil {
+		return
+	}
+	for _, decl := range ctx.file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		ctx.checkViewsInFunc(fn, specs)
+	}
+}
+
+// activeViewSpecs returns the view specs whose owner is NOT this package:
+// inside the owner the view is still being constructed.
+func (ctx *fileCtx) activeViewSpecs() []*ViewSpec {
+	var specs []*ViewSpec
+	for i := range ctx.cfg.SharedViews {
+		vs := &ctx.cfg.SharedViews[i]
+		if vs.Pkg != ctx.pkgRel {
+			specs = append(specs, vs)
+		}
+	}
+	return specs
+}
+
+// checkViewsInFunc runs a single forward pass over one function body:
+// taint identifiers bound to view-derived slices, then flag writes through
+// anything tainted (or through a view expression directly).
+func (ctx *fileCtx) checkViewsInFunc(fn *ast.FuncDecl, specs []*ViewSpec) {
+	taint := map[types.Object]viewRef{}
+
+	// viewExpr classifies an expression as view-derived: a direct accessor
+	// call / field selection, a tainted identifier, or a slice of either.
+	var viewExpr func(e ast.Expr) (viewRef, bool)
+	viewExpr = func(e ast.Expr) (viewRef, bool) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				if ref, ok := ctx.viewMethod(sel, specs); ok {
+					return ref, true
+				}
+			}
+		case *ast.SelectorExpr:
+			if ref, ok := ctx.viewField(x, specs); ok {
+				return ref, true
+			}
+		case *ast.Ident:
+			if obj := ctx.identObj(x); obj != nil {
+				if ref, ok := taint[obj]; ok {
+					return ref, true
+				}
+			}
+		case *ast.SliceExpr:
+			return viewExpr(x.X)
+		}
+		return viewRef{}, false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			// Propagate taint: x := view, x := view[1:], x = alias.
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					if ref, ok := viewExpr(s.Rhs[i]); ok {
+						if id, isID := s.Lhs[i].(*ast.Ident); isID {
+							if obj := ctx.identObj(id); obj != nil {
+								taint[obj] = ref
+							}
+						}
+					}
+				}
+			}
+			for _, lhs := range s.Lhs {
+				// Element write: view[i] = v, tainted[i] op= v.
+				if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+					if ref, ok := viewExpr(idx.X); ok {
+						ctx.add(s.Pos(), IDSharedView,
+							"element write through the shared view %s (owned by %s); published views are read-only after construction",
+							ref.name, ref.spec.Pkg)
+					}
+				}
+				// Field reassignment: pi.Vertices = ... outside the owner.
+				if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok {
+					if ref, ok := ctx.viewField(sel, specs); ok {
+						ctx.add(s.Pos(), IDSharedView,
+							"reassignment of the shared view field %s (owned by %s); published views are read-only after construction",
+							ref.name, ref.spec.Pkg)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := ast.Unparen(s.X).(*ast.IndexExpr); ok {
+				if ref, ok := viewExpr(idx.X); ok {
+					ctx.add(s.Pos(), IDSharedView,
+						"element write through the shared view %s (owned by %s); published views are read-only after construction",
+						ref.name, ref.spec.Pkg)
+				}
+			}
+		case *ast.CallExpr:
+			// copy(view, src) writes the view's backing array; append(view,
+			// ...) may, depending on capacity nobody outside the owner knows.
+			if fun, ok := s.Fun.(*ast.Ident); ok && len(s.Args) > 0 {
+				switch fun.Name {
+				case "copy":
+					if ref, ok := viewExpr(s.Args[0]); ok {
+						ctx.add(s.Pos(), IDSharedView,
+							"copy into the shared view %s (owned by %s); published views are read-only after construction",
+							ref.name, ref.spec.Pkg)
+					}
+				case "append":
+					if ref, ok := viewExpr(s.Args[0]); ok {
+						ctx.add(s.Pos(), IDSharedView,
+							"append to the shared view %s (owned by %s) can write its backing array; build a fresh slice instead",
+							ref.name, ref.spec.Pkg)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// viewMethod matches a selector used as a call target against the specs'
+// accessor methods, resolving the receiver's named type through go/types.
+func (ctx *fileCtx) viewMethod(sel *ast.SelectorExpr, specs []*ViewSpec) (viewRef, bool) {
+	obj, ok := ctx.info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return viewRef{}, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return viewRef{}, false
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil {
+		return viewRef{}, false
+	}
+	for _, vs := range specs {
+		if !ctx.specOwnsType(vs, named) {
+			continue
+		}
+		for _, m := range vs.Methods {
+			if m == sel.Sel.Name {
+				return viewRef{spec: vs, name: named.Obj().Pkg().Name() + "." + vs.Type + "." + m + "()"}, true
+			}
+		}
+	}
+	return viewRef{}, false
+}
+
+// viewField matches a field selection against the specs' shared fields.
+func (ctx *fileCtx) viewField(sel *ast.SelectorExpr, specs []*ViewSpec) (viewRef, bool) {
+	s, ok := ctx.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return viewRef{}, false
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return viewRef{}, false
+	}
+	for _, vs := range specs {
+		if !ctx.specOwnsType(vs, named) {
+			continue
+		}
+		for _, f := range vs.Fields {
+			if f == sel.Sel.Name {
+				return viewRef{spec: vs, name: named.Obj().Pkg().Name() + "." + vs.Type + "." + f}, true
+			}
+		}
+	}
+	return viewRef{}, false
+}
+
+// specOwnsType reports whether a named type is the one a spec protects:
+// same type name, declared in the spec's package of this module.
+func (ctx *fileCtx) specOwnsType(vs *ViewSpec, named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Name() != vs.Type || obj.Pkg() == nil {
+		return false
+	}
+	want := ctx.cfg.Module
+	if vs.Pkg != "." && vs.Pkg != "" {
+		want += "/" + vs.Pkg
+	}
+	return obj.Pkg().Path() == want
+}
+
+// namedOf peels pointers down to a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch x := t.(type) {
+		case *types.Pointer:
+			t = x.Elem()
+		case *types.Named:
+			return x
+		default:
+			return nil
+		}
+	}
+}
