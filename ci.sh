@@ -51,6 +51,12 @@ go test -race -short -run 'Elastic|Drain|Join|Migrat|Autoscale|Dormant|Retire' .
 # and committed fuzz corpus under the race detector (the planning pool
 # runs concurrently at workers 4 and 8).
 go test -race -run 'Policy|Golden|Starvation|Inversion|Admission|Determinism|Fuzz' ./internal/jobsvc
+# Metrics gate: the windowed time-series fold and alert engine under the
+# race detector — the live path runs as a Recorder observer inside runs
+# whose worker pools are concurrent, so the collector gets the same
+# scrutiny as the engine. The chaos golden pins live==derived byte
+# identity across workers on a seeded fault+elastic schedule.
+go test -race ./internal/metrics
 go test -race ./...
 
 go run ./cmd/surfer-gen -kind social -vertices 4096 -seed 42 -out "$smoke/g.srfg"
@@ -87,8 +93,15 @@ cat > "$smoke/elastic.json" <<'EOF'
 EOF
 go run ./cmd/surfer-run -graph "$smoke/g.srfg" -app nr -topology t1 \
     -machines 8 -levels 3 -fail "$smoke/elastic.json" \
-    -events "$smoke/elastic.events" > "$smoke/elastic.txt"
+    -events "$smoke/elastic.events" -metrics "$smoke/live.series" > "$smoke/elastic.txt"
 grep -q "elasticity:.*1 join(s), 1 drain(s)" "$smoke/elastic.txt"
+# Metrics determinism smoke: series sampled live (recorder observer during
+# the run above) must be byte-identical to series derived offline from the
+# run's own capture — the two-path contract EXPERIMENTS.md's recipe relies
+# on, checked here on a seeded fault+elastic schedule.
+go run ./cmd/surfer-metrics -trace "$smoke/elastic.events" -window 0.25 -json \
+    > "$smoke/derived.series"
+cmp "$smoke/live.series" "$smoke/derived.series"
 # "migration=" only appears in a per-stage blame row, i.e. when the
 # critical path actually spent seconds on the drain's eviction.
 go run ./cmd/surfer-analyze -trace "$smoke/elastic.events" | grep -q "migration="
@@ -112,7 +125,7 @@ go run ./cmd/surfer-analyze -compare BENCH_multitenant.json "$smoke/mt.json" -th
 # and print its usage on -h. (go run exits nonzero on -h; the pipeline's
 # status is grep's, which is what we assert.)
 for tool in surfer-gen surfer-part surfer-run surfer-bench surfer-trace \
-    surfer-lint surfer-analyze surfer-submit surfer-tune; do
+    surfer-lint surfer-analyze surfer-submit surfer-tune surfer-metrics; do
     go run "./cmd/$tool" -h 2>&1 | grep -q '^Usage'
 done
 # Auto-tuner smoke: a tiny deterministic search (virtual objective, fixed

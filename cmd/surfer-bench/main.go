@@ -13,12 +13,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -40,11 +43,45 @@ func main() {
 		eventsOut   = flag.String("events", "", "write the raw event stream of every simulated run to this file for surfer-analyze")
 		jsonOut     = flag.String("json", "", "write a machine-readable bench report (surfer-bench/v1 schema) to this file for surfer-analyze -compare")
 		faultsPath  = flag.String("faults", "", "JSON fault-schedule file (kills, degraded links, drop windows, slowdowns) injected into every simulated run")
+		promOut     = flag.String("prom", "", "write Prometheus text exposition of the windowed metrics derived from every simulated run's events to this file (the wall-clock scrape bridge; see docs/METRICS.md §8)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU pprof profile of the bench process to this file (go tool pprof; see docs/TUNING.md)")
+		memProfile  = flag.String("memprofile", "", "write a heap pprof profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpu profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				log.Fatalf("cpu profile: %v", err)
+			}
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("heap profile: %v", err)
+			}
+		}()
+	}
+
 	var rec *trace.Recorder
-	if *traceOut != "" || *eventsOut != "" {
+	if *traceOut != "" || *eventsOut != "" || *promOut != "" {
 		rec = trace.NewRecorder()
 	}
 	var jsonReport *bench.Report
@@ -303,6 +340,36 @@ func main() {
 			log.Fatalf("writing events: %v", err)
 		}
 		fmt.Printf("wrote %s (%d events)\n", *eventsOut, rec.Len())
+	}
+	if *promOut != "" {
+		// The combined stream spans every run the experiment performed, so
+		// the exposition aggregates across them — a scrape-style summary of
+		// the whole bench invocation, not a per-run determinism artifact.
+		makespan := 0.0
+		for _, ev := range rec.Events() {
+			if ev.Time > makespan {
+				makespan = ev.Time
+			}
+		}
+		if makespan <= 0 {
+			makespan = 1
+		}
+		set, _, err := metrics.FromEvents(rec.Events(), metrics.Config{Window: makespan / 32})
+		if err != nil {
+			log.Fatalf("deriving metrics: %v", err)
+		}
+		f, err := os.Create(*promOut)
+		if err != nil {
+			log.Fatalf("writing prom: %v", err)
+		}
+		if err := metrics.WriteProm(f, set); err != nil {
+			f.Close()
+			log.Fatalf("writing prom: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("writing prom: %v", err)
+		}
+		fmt.Printf("wrote %s (%d series)\n", *promOut, len(set.Series))
 	}
 	if jsonReport != nil {
 		if err := jsonReport.Validate(); err != nil {

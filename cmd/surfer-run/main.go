@@ -22,6 +22,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/storage"
 	"repro/internal/trace"
@@ -31,20 +32,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("surfer-run: ")
 	var (
-		graphPath = flag.String("graph", "graph.srfg", "input graph file")
-		appName   = flag.String("app", "nr", "application: vdd, rs, nr, rlg, tc, tfl, cc, sssp")
-		primitive = flag.String("primitive", "propagation", "propagation or mapreduce")
-		optLevel  = flag.String("opt", "o4", "optimization level o1..o4 (propagation)")
-		machines  = flag.Int("machines", 32, "number of machines")
-		topoKind  = flag.String("topology", "t1", "topology: t1, t2, t3")
-		pods      = flag.Int("pods", 2, "pods (t2)")
-		levels    = flag.Int("levels", 6, "log2 of partition count")
-		seed      = flag.Int64("seed", 42, "random seed")
-		workers   = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
-		eventsOut = flag.String("events", "", "write the raw event stream (with topology header) to this file for surfer-analyze / surfer-trace -breakdown")
-		failSpec  = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3, or a .json fault-schedule file (kills, link faults, slowdowns, joins, drains); failed partitions fail over to replicas")
-		heartbeat = flag.Float64("heartbeat", 0, "failure-detection latency in virtual seconds (0 = engine default, 1s)")
+		graphPath  = flag.String("graph", "graph.srfg", "input graph file")
+		appName    = flag.String("app", "nr", "application: vdd, rs, nr, rlg, tc, tfl, cc, sssp")
+		primitive  = flag.String("primitive", "propagation", "propagation or mapreduce")
+		optLevel   = flag.String("opt", "o4", "optimization level o1..o4 (propagation)")
+		machines   = flag.Int("machines", 32, "number of machines")
+		topoKind   = flag.String("topology", "t1", "topology: t1, t2, t3")
+		pods       = flag.Int("pods", 2, "pods (t2)")
+		levels     = flag.Int("levels", 6, "log2 of partition count")
+		seed       = flag.Int64("seed", 42, "random seed")
+		workers    = flag.Int("workers", 0, "compute worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for every value")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file (open in chrome://tracing or Perfetto)")
+		eventsOut  = flag.String("events", "", "write the raw event stream (with topology header) to this file for surfer-analyze / surfer-trace -breakdown")
+		failSpec   = flag.String("fail", "", "comma-separated machine deaths as machine@time (virtual seconds), e.g. 2@1.5,7@3, or a .json fault-schedule file (kills, link faults, slowdowns, joins, drains); failed partitions fail over to replicas")
+		heartbeat  = flag.Float64("heartbeat", 0, "failure-detection latency in virtual seconds (0 = engine default, 1s)")
+		metricsOut = flag.String("metrics", "", "sample windowed time series live during the run and write the series set to this file (surfer-metrics reads it, or derives the identical set from -events output)")
+		metricsWin = flag.Float64("metrics-window", 0.25, "metrics window length in virtual seconds")
+		rulesPath  = flag.String("rules", "", "JSON SLO alert rules evaluated live at every window seal; fired/resolved alerts land in the event stream (needs -metrics)")
 	)
 	flag.Parse()
 
@@ -98,8 +102,28 @@ func main() {
 		log.Fatal(err)
 	}
 	var rec *trace.Recorder
-	if *traceOut != "" || *eventsOut != "" {
+	if *traceOut != "" || *eventsOut != "" || *metricsOut != "" {
 		rec = trace.NewRecorder()
+	}
+	var col *metrics.Collector
+	if *metricsOut != "" {
+		var rules *metrics.RuleSet
+		if *rulesPath != "" {
+			data, err := os.ReadFile(*rulesPath)
+			if err != nil {
+				log.Fatalf("reading rules: %v", err)
+			}
+			if rules, err = metrics.ParseRules(data); err != nil {
+				log.Fatal(err)
+			}
+		}
+		col, err = metrics.NewCollector(metrics.Config{Window: *metricsWin, Topo: topo, Rules: rules})
+		if err != nil {
+			log.Fatal(err)
+		}
+		col.Attach(rec)
+	} else if *rulesPath != "" {
+		log.Fatal("-rules needs -metrics (rules evaluate against the live series)")
 	}
 	s := bench.Scale{
 		Vertices: g.NumVertices(), Levels: *levels, Machines: topo.NumMachines(),
@@ -140,6 +164,22 @@ func main() {
 	default:
 		log.Fatalf("unknown primitive %q", *primitive)
 	}
+	if *metricsOut != "" {
+		// Finish seals the remaining windows — final alert transitions are
+		// emitted here, so it must precede the trace/event writers.
+		set := col.Finish()
+		if err := writeSeries(*metricsOut, set); err != nil {
+			log.Fatalf("writing metrics: %v", err)
+		}
+		fired := 0
+		for _, al := range col.Alerts() {
+			if !al.Resolved {
+				fired++
+			}
+		}
+		fmt.Printf("metrics:            %s (%d series × %d windows, %d alert(s) fired)\n",
+			*metricsOut, len(set.Series), set.Windows, fired)
+	}
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut, rec); err != nil {
 			log.Fatalf("writing trace: %v", err)
@@ -152,6 +192,18 @@ func main() {
 		}
 		fmt.Printf("events:             %s (%d events)\n", *eventsOut, rec.Len())
 	}
+}
+
+func writeSeries(path string, set *metrics.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := metrics.WriteSet(f, set); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseFailures decodes the -fail flag: a comma-separated list of

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -90,11 +91,13 @@ func (pl *AutoscalePlan) File() *fault.File {
 	return f
 }
 
-// Autoscale applies the policy to a trace: per job window it measures the
-// hottest level-0 directed link's utilization, then recommends one join per
-// saturation streak (the next provisioned machine ID past the topology) and
-// one drain per idle streak (the least-loaded machine by task busy seconds,
-// never machine 0, never a machine already recommended for drain).
+// Autoscale applies the policy to a trace: per job window it reads the
+// hottest level-0 directed link's utilization (the metrics package's
+// JobWindows fold — the same numbers the dashboards observe), then
+// recommends one join per saturation streak (the next provisioned machine
+// ID past the topology) and one drain per idle streak (the least-loaded
+// machine by task busy seconds, never machine 0, never a machine already
+// recommended for drain).
 func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePolicy) (*AutoscalePlan, error) {
 	if topo == nil {
 		return nil, fmt.Errorf("analyze: autoscale needs the trace's topology header")
@@ -104,40 +107,7 @@ func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePol
 		return nil, err
 	}
 	n := topo.NumMachines()
-	lvl := bisectionLevels(topo)
-
-	// Job windows in stream order: begin Seq → [start, end].
-	type window struct {
-		job        string
-		start, end float64
-		busy       map[[2]int]float64
-	}
-	var wins []*window
-	open := make(map[string]*window) // job name → its open window
-	for i := range events {
-		ev := &events[i]
-		switch ev.Kind {
-		case trace.KindJobBegin:
-			w := &window{job: ev.Job, start: ev.Time, busy: make(map[[2]int]float64)}
-			wins = append(wins, w)
-			open[ev.Job] = w
-		case trace.KindJobEnd:
-			if w := open[ev.Job]; w != nil {
-				w.end = ev.Time
-				delete(open, ev.Job)
-			}
-		case trace.KindTransfer, trace.KindPartitionMigrate:
-			if ev.Machine < 0 || ev.Dst < 0 || ev.Machine >= n || ev.Dst >= n {
-				continue
-			}
-			if lvl[ev.Machine][ev.Dst] != 0 {
-				continue
-			}
-			if w := open[ev.Job]; w != nil {
-				w.busy[[2]int{ev.Machine, ev.Dst}] += ev.End - ev.Start
-			}
-		}
-	}
+	wins := metrics.JobWindows(events, topo)
 
 	// Least-loaded machine over the whole stream, for drain targeting.
 	compute := machineCompute(events)
@@ -147,17 +117,9 @@ func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePol
 	nextJoin := cluster.MachineID(n)
 	drained := make(map[cluster.MachineID]bool)
 	for _, w := range wins {
-		if w.end <= w.start {
-			continue // unfinished or instantaneous window: no signal
-		}
-		span := w.end - w.start
-		maxUtil := 0.0
-		for _, busy := range w.busy {
-			if u := busy / span; u > maxUtil {
-				maxUtil = u
-			}
-		}
-		wu := WindowUtil{Job: w.job, Start: w.start, End: w.end, MaxLevel0Util: maxUtil}
+		span := w.End - w.Start
+		maxUtil := w.MaxLevel0Util
+		wu := WindowUtil{Job: w.Job, Start: w.Start, End: w.End, MaxLevel0Util: maxUtil}
 		if maxUtil >= p.SaturateUtil {
 			wu.Saturated = true
 			sat++
@@ -174,7 +136,7 @@ func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePol
 			// The bisection stayed saturated for K windows: grow. The join
 			// target is the next machine past the current topology — the
 			// caller expands the topology before replaying.
-			plan.Joins = append(plan.Joins, fault.MachineJoin{At: w.end, Machine: nextJoin})
+			plan.Joins = append(plan.Joins, fault.MachineJoin{At: w.End, Machine: nextJoin})
 			nextJoin++
 			sat = 0
 		}
@@ -193,7 +155,7 @@ func Autoscale(events []trace.Event, topo *cluster.Topology, policy AutoscalePol
 					}
 				}
 				plan.Drains = append(plan.Drains, fault.MachineDrain{
-					At: w.end, Machine: m, Deadline: w.end + slack,
+					At: w.End, Machine: m, Deadline: w.End + slack,
 				})
 			}
 			idle = 0

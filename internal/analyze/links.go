@@ -54,37 +54,9 @@ type LinkReport struct {
 	all []LinkStat
 }
 
-// bisectionLevels computes, for every machine pair, the recursion depth at
-// which the pair separates under repeated machine-graph bisection. The
-// bisection is a pure function of the topology, so levels are deterministic.
-func bisectionLevels(topo *cluster.Topology) [][]int {
-	n := topo.NumMachines()
-	lvl := make([][]int, n)
-	for i := range lvl {
-		lvl[i] = make([]int, n)
-	}
-	var rec func(mg *cluster.MachineGraph, depth int)
-	rec = func(mg *cluster.MachineGraph, depth int) {
-		if mg.Size() < 2 {
-			return
-		}
-		a, b := mg.Bisect()
-		for _, ma := range a.Machines() {
-			for _, mb := range b.Machines() {
-				lvl[ma][mb] = depth
-				lvl[mb][ma] = depth
-			}
-		}
-		rec(a, depth+1)
-		rec(b, depth+1)
-	}
-	rec(cluster.NewMachineGraph(topo), 0)
-	return lvl
-}
-
 func linkReport(events []trace.Event, topo *cluster.Topology, start, end float64) *LinkReport {
 	n := topo.NumMachines()
-	lvl := bisectionLevels(topo)
+	lvl := cluster.BisectionLevels(topo)
 	span := end - start
 	width := span / timelineBuckets
 

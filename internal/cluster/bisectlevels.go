@@ -1,0 +1,33 @@
+package cluster
+
+// BisectionLevels computes, for every machine pair, the recursion depth at
+// which the pair separates under repeated machine-graph bisection (§4.2):
+// level 0 crosses the top-level cut — the scarcest bandwidth in the
+// hierarchy. The bisection is a pure function of the topology, so levels are
+// deterministic; the link report, the autoscaler and the metrics collector
+// all bucket traffic with this one function so they observe the same
+// hierarchy.
+func BisectionLevels(topo *Topology) [][]int {
+	n := topo.NumMachines()
+	lvl := make([][]int, n)
+	for i := range lvl {
+		lvl[i] = make([]int, n)
+	}
+	var rec func(mg *MachineGraph, depth int)
+	rec = func(mg *MachineGraph, depth int) {
+		if mg.Size() < 2 {
+			return
+		}
+		a, b := mg.Bisect()
+		for _, ma := range a.Machines() {
+			for _, mb := range b.Machines() {
+				lvl[ma][mb] = depth
+				lvl[mb][ma] = depth
+			}
+		}
+		rec(a, depth+1)
+		rec(b, depth+1)
+	}
+	rec(NewMachineGraph(topo), 0)
+	return lvl
+}

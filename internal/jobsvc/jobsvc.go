@@ -424,13 +424,13 @@ func (s *service) run() ([]Record, error) {
 func (s *service) onArrival(jr *jobRun, at float64) {
 	jr.rec.Submitted = at
 	jr.queuedSeq = s.tr.Emit(trace.Event{Kind: trace.KindJobQueued, Job: jr.id(),
-		Cause: s.lastQueuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
-		Time: at})
+		Tenant: jr.job.Spec.Tenant, Cause: s.lastQueuedSeq, Machine: trace.None,
+		Dst: trace.None, Part: trace.None, Time: at})
 	s.lastQueuedSeq = jr.queuedSeq
 	if s.cfg.QueueLimit > 0 && len(s.queued) >= s.cfg.QueueLimit {
 		s.tr.Emit(trace.Event{Kind: trace.KindJobRejected, Job: jr.id(),
-			Cause: jr.queuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Time: at})
+			Tenant: jr.job.Spec.Tenant, Cause: jr.queuedSeq, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: at})
 		jr.state = jsRejected
 		jr.rec.Rejected = true
 		return
@@ -513,8 +513,8 @@ func (s *service) schedule(now float64, barrier *jobRun) {
 	if barrier != nil && barrier.state == jsBarrier {
 		// The barrier job lost its slot: preempt at the barrier.
 		barrier.preemptSeq = s.tr.Emit(trace.Event{Kind: trace.KindJobPreempted,
-			Job: barrier.id(), Cause: barrier.nextCause, Machine: trace.None,
-			Dst: trace.None, Part: trace.None, Time: now})
+			Job: barrier.id(), Tenant: barrier.job.Spec.Tenant, Cause: barrier.nextCause,
+			Machine: trace.None, Dst: trace.None, Part: trace.None, Time: now})
 		barrier.state = jsPreempted
 		barrier.rec.Preemptions++
 		s.preempted = append(s.preempted, barrier)
@@ -527,15 +527,15 @@ func (s *service) grant(jr *jobRun, now float64) {
 	case jsQueued:
 		s.queued = removeJob(s.queued, jr)
 		admitSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobAdmitted, Job: jr.id(),
-			Cause: jr.queuedSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Time: now})
+			Tenant: jr.job.Spec.Tenant, Cause: jr.queuedSeq, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: now})
 		jr.rec.Admitted = now
 		jr.nextCause = admitSeq
 	case jsPreempted:
 		s.preempted = removeJob(s.preempted, jr)
 		resumeSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobResumed, Job: jr.id(),
-			Cause: jr.preemptSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Time: now})
+			Tenant: jr.job.Spec.Tenant, Cause: jr.preemptSeq, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: now})
 		jr.nextCause = resumeSeq
 	case jsBarrier:
 		// Continuing at its own barrier; nextCause is the stage/job end.
@@ -562,13 +562,13 @@ func (s *service) startStage(jr *jobRun, now float64) {
 	plan := jr.curPlan()
 	if jr.stageIdx == 0 {
 		jr.nextCause = s.tr.Emit(trace.Event{Kind: trace.KindJobBegin, Job: jr.execName(),
-			Cause: jr.nextCause, Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Time: now})
+			Tenant: jr.job.Spec.Tenant, Cause: jr.nextCause, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: now})
 	}
 	stage := plan.Stages[jr.stageIdx]
 	beginSeq := s.tr.Emit(trace.Event{Kind: trace.KindStageBegin, Job: jr.execName(),
-		Stage: stage.Name, Cause: jr.nextCause, Machine: trace.None, Dst: trace.None,
-		Part: trace.None, Time: now})
+		Stage: stage.Name, Tenant: jr.job.Spec.Tenant, Cause: jr.nextCause,
+		Machine: trace.None, Dst: trace.None, Part: trace.None, Time: now})
 	jr.remaining = len(stage.Tasks)
 	jr.inflight = 0
 	jr.stageMach = 0
@@ -631,8 +631,9 @@ func (s *service) startNext(m cluster.MachineID, now float64, cause int) {
 		s.running[m]++
 		dur := s.taskDuration(st.t) * s.faults.SlowdownFactor(m, now)
 		startSeq := s.tr.Emit(trace.Event{Kind: trace.KindTaskStart, Job: st.jr.execName(),
-			Stage: st.jr.curStageName(), Name: st.t.Name, Cause: cause, Machine: int(m),
-			Dst: trace.None, Part: int(st.t.Part), Time: now, Start: now})
+			Stage: st.jr.curStageName(), Name: st.t.Name, Tenant: st.jr.job.Spec.Tenant,
+			Cause: cause, Machine: int(m), Dst: trace.None, Part: int(st.t.Part),
+			Time: now, Start: now})
 		s.push(&event{at: now + dur, kind: evTaskDone, st: st, machine: m,
 			start: now, dur: dur, startSeq: startSeq})
 	}
@@ -662,8 +663,9 @@ func (s *service) onTaskDone(e *event) {
 	jr.rec.TasksRun++
 	jr.stageMach += e.dur
 	endSeq := s.tr.Emit(trace.Event{Kind: trace.KindTaskEnd, Job: jr.execName(),
-		Stage: jr.curStageName(), Name: t.Name, Cause: e.startSeq, Machine: int(e.machine),
-		Dst: trace.None, Part: int(t.Part), Time: e.at, Start: e.start, End: e.at})
+		Stage: jr.curStageName(), Name: t.Name, Tenant: jr.job.Spec.Tenant,
+		Cause: e.startSeq, Machine: int(e.machine), Dst: trace.None, Part: int(t.Part),
+		Time: e.at, Start: e.start, End: e.at})
 	s.running[e.machine]--
 	jr.remaining--
 	s.noteStageEvent(jr, e.at, endSeq)
@@ -715,9 +717,9 @@ func (s *service) dispatch(ts *pendingTransfer, now float64) {
 		ts.attempt++
 		jr.rec.TransferDrops++
 		dropSeq := s.tr.Emit(trace.Event{Kind: trace.KindTransferDrop, Job: jr.execName(),
-			Stage: jr.curStageName(), Name: ts.dstName, Cause: ts.cause,
-			Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Bytes: ts.bytes,
-			Time: now, Start: start, End: detect, Attempt: ts.attempt})
+			Stage: jr.curStageName(), Name: ts.dstName, Tenant: jr.job.Spec.Tenant,
+			Cause: ts.cause, Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part,
+			Bytes: ts.bytes, Time: now, Start: start, End: detect, Attempt: ts.attempt})
 		if s.retry.MaxAttempts > 0 && ts.attempt >= s.retry.MaxAttempts {
 			s.err = fmt.Errorf("jobsvc: job %q transfer %d→%d (%d bytes) dropped %d times; retry budget exhausted",
 				jr.id(), ts.src, ts.dst, ts.bytes, ts.attempt)
@@ -734,8 +736,8 @@ func (s *service) dispatch(ts *pendingTransfer, now float64) {
 	s.ingressFree[ts.dst] = start + dur
 	jr.rec.NetworkBytes += ts.bytes
 	seq := s.tr.Emit(trace.Event{Kind: trace.KindTransfer, Job: jr.execName(),
-		Stage: jr.curStageName(), Name: ts.dstName, Cause: ts.cause,
-		Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Bytes: ts.bytes,
+		Stage: jr.curStageName(), Name: ts.dstName, Tenant: jr.job.Spec.Tenant,
+		Cause: ts.cause, Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Bytes: ts.bytes,
 		Time: now, Start: start, End: start + dur, Stall: start - now,
 		Incast:  inFree > now && inFree >= egFree,
 		Attempt: ts.attempt, Degraded: factor > 1})
@@ -747,9 +749,9 @@ func (s *service) onTransferRetry(e *event) {
 	jr := ts.jr
 	jr.rec.TransferRetries++
 	retrySeq := s.tr.Emit(trace.Event{Kind: trace.KindTransferRetry, Job: jr.execName(),
-		Stage: jr.curStageName(), Name: ts.dstName, Cause: e.traceSeq,
-		Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part, Time: e.at,
-		Attempt: ts.attempt})
+		Stage: jr.curStageName(), Name: ts.dstName, Tenant: jr.job.Spec.Tenant,
+		Cause: e.traceSeq, Machine: int(ts.src), Dst: int(ts.dst), Part: ts.part,
+		Time: e.at, Attempt: ts.attempt})
 	s.noteStageEvent(jr, e.at, retrySeq)
 	ts.cause = retrySeq
 	s.dispatch(ts, e.at)
@@ -762,16 +764,16 @@ func (s *service) finishStage(jr *jobRun, now float64) {
 	plan := jr.curPlan()
 	stage := plan.Stages[jr.stageIdx]
 	endSeq := s.tr.Emit(trace.Event{Kind: trace.KindStageEnd, Job: jr.execName(),
-		Stage: stage.Name, Cause: jr.stageEndCause, Machine: trace.None,
-		Dst: trace.None, Part: trace.None, Time: jr.stageEnd})
+		Stage: stage.Name, Tenant: jr.job.Spec.Tenant, Cause: jr.stageEndCause,
+		Machine: trace.None, Dst: trace.None, Part: trace.None, Time: jr.stageEnd})
 	s.active--
 	s.vruntime[jr.job.Spec.Tenant] += jr.stageMach
 	jr.nextCause = endSeq
 	jr.stageIdx++
 	if jr.stageIdx >= len(plan.Stages) {
 		jobEndSeq := s.tr.Emit(trace.Event{Kind: trace.KindJobEnd, Job: jr.execName(),
-			Cause: endSeq, Machine: trace.None, Dst: trace.None, Part: trace.None,
-			Time: jr.stageEnd})
+			Tenant: jr.job.Spec.Tenant, Cause: endSeq, Machine: trace.None,
+			Dst: trace.None, Part: trace.None, Time: jr.stageEnd})
 		jr.nextCause = jobEndSeq
 		jr.planIdx++
 		jr.stageIdx = 0

@@ -215,6 +215,7 @@ func DefaultConfig(root string) Config {
 			"internal/fault",
 			"internal/trace",
 			"internal/analyze",
+			"internal/metrics",
 		},
 		SupportingDirs: []string{
 			"internal/graph",

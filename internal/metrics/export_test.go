@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func sampleSet() *Set {
+	return &Set{
+		Format: SeriesFormat, Version: SeriesVersion,
+		Window: 0.5, Windows: 3,
+		Series: []Series{
+			{Name: "link-bytes:0>1", Values: []float64{100, 0, 50}},
+			{Name: "machine-tasks:0", Values: []float64{1, 0.5, 0}},
+		},
+	}
+}
+
+func TestWriteSetReadSetRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSet(&buf, sampleSet()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSet(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteSet(&buf2, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("round trip changed bytes:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestReadSetRejectsForeignFiles(t *testing.T) {
+	if _, err := ReadSet(strings.NewReader(`{"format":"other","version":1}`)); err == nil {
+		t.Fatal("foreign format accepted")
+	}
+	if _, err := ReadSet(strings.NewReader(`{"format":"surfer-metrics-series","version":99}`)); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := ReadSet(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleSet()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 windows:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "window,start,link-bytes:0>1,machine-tasks:0" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != "1,0.5,0,0.5" {
+		t.Fatalf("window 1 row = %q", lines[2])
+	}
+}
+
+func TestWritePromExposition(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, sampleSet()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE surfer_series_last gauge",
+		`surfer_series_last{name="link-bytes:0>1"} 50`,
+		`surfer_series_sum{name="machine-tasks:0"} 1.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Fatalf("ramp = %q", got)
+	}
+	if got := Sparkline([]float64{0, 0, 0}, 3); got != "▁▁▁" {
+		t.Fatalf("all-zero = %q", got)
+	}
+	// Resampling keeps the bucket maximum, so the spike survives.
+	if got := Sparkline([]float64{0, 9, 0, 0, 0, 0, 0, 0}, 4); got[:3] != "█" {
+		t.Fatalf("spike lost: %q", got)
+	}
+	if Sparkline(nil, 10) != "" || Sparkline([]float64{1}, 0) != "" {
+		t.Fatal("degenerate inputs should render empty")
+	}
+}
+
+func TestNaturalLess(t *testing.T) {
+	keys := []string{
+		"machine-tasks:10", "machine-tasks:2", "level-util:0",
+		"link-util:2>10", "link-util:2>3",
+	}
+	sort.Slice(keys, func(i, j int) bool { return naturalLess(keys[i], keys[j]) })
+	want := []string{
+		"level-util:0", "link-util:2>3", "link-util:2>10",
+		"machine-tasks:2", "machine-tasks:10",
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("order = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	if v := percentile([]float64{5, 1, 3}, 0.99); v != 5 {
+		t.Fatalf("p99 of 3 = %g", v)
+	}
+	if v := percentile([]float64{4, 2}, 0.5); v != 2 {
+		t.Fatalf("p50 of 2 = %g", v)
+	}
+	if v := percentile(nil, 0.99); v != 0 {
+		t.Fatalf("empty = %g", v)
+	}
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/trace"
+)
+
+// Job windows: the per-engine-job aggregation the autoscaler consumes (one
+// window per job in stream order — per iteration for propagation runs),
+// distinct from the Collector's fixed-width windows. Factored here so the
+// autoscale policy and the dashboards observe the same numbers through the
+// same fold.
+
+// JobWindow is one engine job's level-0 utilization summary.
+type JobWindow struct {
+	// Job is the engine job name (its KindJobBegin's Job field).
+	Job string
+	// Start / End bracket the job; only completed jobs with positive span
+	// are reported (an unfinished job carries no signal).
+	Start, End float64
+	// MaxLevel0Util is the hottest level-0 directed link's busy fraction of
+	// the window: transfer and migration busy seconds ÷ window span,
+	// maximized over the links crossing the topology's top-level bisection.
+	MaxLevel0Util float64
+}
+
+// JobWindows folds a stream into per-job level-0 utilization windows.
+// Transfers and migrations are charged to the window of their enclosing job
+// (concurrent jobs each accumulate their own traffic); machine pairs outside
+// the topology or below level 0 are ignored, mirroring the link report.
+func JobWindows(events []trace.Event, topo *cluster.Topology) []JobWindow {
+	n := topo.NumMachines()
+	lvl := cluster.BisectionLevels(topo)
+
+	type window struct {
+		job        string
+		start, end float64
+		busy       map[[2]int]float64
+	}
+	var wins []*window
+	open := make(map[string]*window) // job name → its open window
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case trace.KindJobBegin:
+			w := &window{job: ev.Job, start: ev.Time, busy: make(map[[2]int]float64)}
+			wins = append(wins, w)
+			open[ev.Job] = w
+		case trace.KindJobEnd:
+			if w := open[ev.Job]; w != nil {
+				w.end = ev.Time
+				delete(open, ev.Job)
+			}
+		case trace.KindTransfer, trace.KindPartitionMigrate:
+			if ev.Machine < 0 || ev.Dst < 0 || ev.Machine >= n || ev.Dst >= n {
+				continue
+			}
+			if lvl[ev.Machine][ev.Dst] != 0 {
+				continue
+			}
+			if w := open[ev.Job]; w != nil {
+				w.busy[[2]int{ev.Machine, ev.Dst}] += ev.End - ev.Start
+			}
+		}
+	}
+
+	var out []JobWindow
+	for _, w := range wins {
+		if w.end <= w.start {
+			continue // unfinished or instantaneous window: no signal
+		}
+		span := w.end - w.start
+		maxUtil := 0.0
+		for _, busy := range w.busy {
+			// A max over map values is order-independent, so ranging the map
+			// is safe here.
+			if u := busy / span; u > maxUtil {
+				maxUtil = u
+			}
+		}
+		out = append(out, JobWindow{Job: w.job, Start: w.start, End: w.end, MaxLevel0Util: maxUtil})
+	}
+	return out
+}

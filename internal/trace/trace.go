@@ -89,6 +89,15 @@ const (
 	// Bytes bytes, NIC-serialized exactly like a transfer (Start..End busy,
 	// Stall queueing). Its Cause is the machine-drain that evicted it.
 	KindPartitionMigrate
+	// KindAlertFired marks an SLO alert rule breaching its threshold for its
+	// configured run of consecutive metrics windows. Name is "rule@series",
+	// Time is the end of the sealing window, and Cause is the last stream
+	// event that contributed to the breaching window, so the causal walk can
+	// reach the load that tripped the alert.
+	KindAlertFired
+	// KindAlertResolved marks the first sealed window in which a fired alert's
+	// series no longer breaches; its Cause is the matching KindAlertFired.
+	KindAlertResolved
 )
 
 func (k EventKind) String() string {
@@ -139,6 +148,10 @@ func (k EventKind) String() string {
 		return "machine-drain"
 	case KindPartitionMigrate:
 		return "partition-migrate"
+	case KindAlertFired:
+		return "alert-fired"
+	case KindAlertResolved:
+		return "alert-resolved"
 	default:
 		return "unknown"
 	}
@@ -165,6 +178,9 @@ type Event struct {
 	// Job and Stage name the enclosing engine job and stage.
 	Job   string `json:"job,omitempty"`
 	Stage string `json:"stage,omitempty"`
+	// Tenant names the owning tenant on job-service emissions (and on alert
+	// events about a tenant series); empty on raw engine streams.
+	Tenant string `json:"tenant,omitempty"`
 	// Name labels the subject: the task name for task events and — so the
 	// causal edge transfer → receiving task is visible — the destination
 	// task's name for transfer events; empty otherwise.
@@ -205,7 +221,8 @@ type Event struct {
 // ready to use; a nil *Recorder is a valid disabled recorder (every method
 // is nil-safe), which is how the engine runs untraced with zero overhead.
 type Recorder struct {
-	events []Event
+	events    []Event
+	observers []func(Event)
 }
 
 // NewRecorder returns an enabled recorder.
@@ -213,6 +230,20 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Enabled reports whether events are being collected.
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// Observe registers fn to be called synchronously from Emit with every
+// event after its Seq is assigned, in emission order. This is the live
+// sampling hook: a metrics collector attached here sees exactly the stream a
+// later reader of Events() would, so live and trace-derived series agree by
+// construction. Observers run in registration order inside the serial event
+// loop; an observer may itself Emit (the nested event is stored and observed
+// before the outer Emit returns). No-op on a nil recorder.
+func (r *Recorder) Observe(fn func(Event)) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.observers = append(r.observers, fn)
+}
 
 // Emit appends one event to the stream, assigning its Seq, and returns the
 // assigned Seq so emitters can thread it as the Cause of later events. On a
@@ -224,6 +255,9 @@ func (r *Recorder) Emit(ev Event) int {
 	}
 	ev.Seq = len(r.events)
 	r.events = append(r.events, ev)
+	for _, fn := range r.observers {
+		fn(ev)
+	}
 	return ev.Seq
 }
 
